@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunT1(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-nodes", "20", "-scale", "8", "t1"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "T1") || !strings.Contains(out.String(), "mean hop distance") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-nodes", "20", "-messages", "10", "-scale", "8", "-csv", "s1"}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "figure,series,") {
+		t.Fatalf("csv output missing header:\n%s", out.String())
+	}
+}
+
+func TestRunMapIsCSV(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-nodes", "15", "-messages", "10", "-scale", "8", "map"}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "strategy,nodeA,nodeB,") {
+		t.Fatalf("map output missing header:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"bogus"}, &out, &errOut); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run(nil, &out, &errOut); err == nil {
+		t.Error("missing experiment accepted")
+	}
+	if err := run([]string{"t1", "extra"}, &out, &errOut); err == nil {
+		t.Error("extra args accepted")
+	}
+	if err := run([]string{"-bogusflag", "t1"}, &out, &errOut); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

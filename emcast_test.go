@@ -1,0 +1,328 @@
+package emcast
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClusterEagerDeliversEverywhere(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Nodes: 30, Strategy: Eager, TopologyScale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("hello overlay")
+	id, err := c.Multicast(0, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(5 * time.Second)
+
+	got := make(map[NodeID]bool)
+	for _, d := range c.Deliveries() {
+		if d.ID != id {
+			t.Fatalf("unexpected message id %v", d.ID)
+		}
+		if !bytes.Equal(d.Payload, payload) {
+			t.Fatalf("payload corrupted: %q", d.Payload)
+		}
+		got[d.Node] = true
+	}
+	if len(got) != c.Size() {
+		t.Fatalf("delivered to %d/%d nodes", len(got), c.Size())
+	}
+	if s := c.Stats(); s.AtomicRate != 1 {
+		t.Fatalf("atomic rate %.2f, want 1", s.AtomicRate)
+	}
+}
+
+func TestClusterStrategies(t *testing.T) {
+	for _, s := range []Strategy{Eager, Lazy, Flat, TTL, Radius, Ranked, Hybrid} {
+		s := s
+		t.Run(string(s), func(t *testing.T) {
+			c, err := NewCluster(ClusterConfig{Nodes: 25, Strategy: s, TopologyScale: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Multicast(3, []byte("m")); err != nil {
+				t.Fatal(err)
+			}
+			c.Run(10 * time.Second)
+			if got := len(c.Deliveries()); got != c.Size() {
+				t.Fatalf("strategy %s delivered to %d/%d nodes", s, got, c.Size())
+			}
+		})
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{Strategy: "bogus"}); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{Noise: 2}); err == nil {
+		t.Error("noise > 1 accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{Loss: 1}); err == nil {
+		t.Error("loss = 1 accepted")
+	}
+	c, err := NewCluster(ClusterConfig{Nodes: 10, TopologyScale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Multicast(10, nil); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if err := c.Fail(-1); err == nil {
+		t.Error("out-of-range fail accepted")
+	}
+}
+
+func TestClusterFailuresDoNotStopDissemination(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Nodes: 40, Strategy: Ranked, TopologyScale: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill 25% of nodes, including hubs.
+	killed := map[NodeID]bool{}
+	for i := 0; i < 10; i++ {
+		if err := c.Fail(i); err != nil {
+			t.Fatal(err)
+		}
+		killed[NodeID(i)] = true
+	}
+	if _, err := c.Multicast(20, []byte("still alive")); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(10 * time.Second)
+	got := make(map[NodeID]bool)
+	for _, d := range c.Deliveries() {
+		got[d.Node] = true
+	}
+	live := c.Size() - len(killed)
+	if len(got) < live*95/100 {
+		t.Fatalf("delivered to %d of %d live nodes", len(got), live)
+	}
+	for n := range got {
+		if killed[n] {
+			t.Fatalf("silenced node %d delivered a message", n)
+		}
+	}
+}
+
+func TestClusterStatsFields(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Nodes: 25, Strategy: TTL, TTLRounds: 2, TopologyScale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev time.Duration
+	for i := 0; i < 10; i++ {
+		if _, err := c.Multicast(i, []byte("m")); err != nil {
+			t.Fatal(err)
+		}
+		c.Run(400 * time.Millisecond)
+	}
+	c.Run(10 * time.Second)
+	s := c.Stats()
+	if s.MessagesSent != 10 || s.Deliveries != 250 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MeanLatency <= 0 || s.P95Latency < s.MeanLatency/2 {
+		t.Fatalf("latency stats odd: mean=%v p95=%v", s.MeanLatency, s.P95Latency)
+	}
+	if s.PayloadPerMsg < 0.9 || s.PayloadPerMsg > 3 {
+		t.Fatalf("TTL payload/msg = %.2f", s.PayloadPerMsg)
+	}
+	if s.String() == "" {
+		t.Fatal("empty Stats string")
+	}
+	// Deliveries are recorded in virtual-time order.
+	for _, d := range c.Deliveries() {
+		if d.At < prev {
+			t.Fatal("deliveries out of time order")
+		}
+		prev = d.At
+	}
+	if c.Now() <= 0 {
+		t.Fatal("virtual clock did not advance")
+	}
+}
+
+func TestClusterGossipRanking(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		Nodes:         40,
+		Strategy:      Ranked,
+		GossipRanking: true,
+		TopologyScale: 8,
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := c.Multicast(i, []byte("tick")); err != nil {
+			t.Fatal(err)
+		}
+		c.Run(300 * time.Millisecond)
+	}
+	c.Run(10 * time.Second)
+	s := c.Stats()
+	if s.DeliveryRate < 0.99 {
+		t.Fatalf("delivery rate %.3f with gossip ranking", s.DeliveryRate)
+	}
+	if s.Top5LinkShare < 0.08 {
+		t.Fatalf("no emergent structure with gossip ranking: %.3f", s.Top5LinkShare)
+	}
+}
+
+// TestPeersOverTCP runs a real 5-node group over loopback TCP and checks a
+// multicast reaches every peer.
+func TestPeersOverTCP(t *testing.T) {
+	const n = 5
+	addrs := make(map[NodeID]string, n)
+	for i := 0; i < n; i++ {
+		addrs[NodeID(i)] = fmt.Sprintf("127.0.0.1:%d", 39700+i)
+	}
+
+	var mu sync.Mutex
+	delivered := make(map[NodeID]int)
+
+	peers := make([]*Peer, 0, n)
+	for i := 0; i < n; i++ {
+		self := NodeID(i)
+		others := make(map[NodeID]string)
+		for id, a := range addrs {
+			if id != self {
+				others[id] = a
+			}
+		}
+		p, err := NewPeer(PeerConfig{
+			Self:       self,
+			ListenAddr: addrs[self],
+			Peers:      others,
+			Strategy:   TTL,
+			TTLRounds:  2,
+			Fanout:     4,
+			OnDeliver: func(d Delivery) {
+				mu.Lock()
+				delivered[d.Node]++
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+		peers = append(peers, p)
+	}
+	defer func() {
+		for _, p := range peers {
+			p.Close()
+		}
+	}()
+
+	id := peers[0].Multicast([]byte("over the wire"))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		all := true
+		for _, p := range peers {
+			if !p.Delivered(id) {
+				all = false
+				break
+			}
+		}
+		if all {
+			break
+		}
+		if time.Now().After(deadline) {
+			mu.Lock()
+			t.Fatalf("timeout: deliveries=%v", delivered)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < n; i++ {
+		if delivered[NodeID(i)] != 1 {
+			t.Errorf("peer %d delivered %d times, want 1", i, delivered[NodeID(i)])
+		}
+	}
+}
+
+// TestPeerRankedWithoutHubs exercises the hubless Ranked configuration on
+// a real network: hubs are discovered by the gossip-based ranking protocol
+// instead of being configured.
+func TestPeerRankedWithoutHubs(t *testing.T) {
+	const n = 4
+	addrs := make(map[NodeID]string, n)
+	for i := 0; i < n; i++ {
+		addrs[NodeID(i)] = fmt.Sprintf("127.0.0.1:%d", 39800+i)
+	}
+	peers := make([]*Peer, 0, n)
+	for i := 0; i < n; i++ {
+		self := NodeID(i)
+		others := make(map[NodeID]string)
+		for id, a := range addrs {
+			if id != self {
+				others[id] = a
+			}
+		}
+		p, err := NewPeer(PeerConfig{
+			Self:       self,
+			ListenAddr: addrs[self],
+			Peers:      others,
+			Strategy:   Ranked, // no Hubs: gossip ranking kicks in
+			Fanout:     3,
+		})
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+		peers = append(peers, p)
+	}
+	defer func() {
+		for _, p := range peers {
+			p.Close()
+		}
+	}()
+
+	id := peers[1].Multicast([]byte("ranked without hubs"))
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		all := true
+		for _, p := range peers {
+			if !p.Delivered(id) {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timeout waiting for hubless ranked delivery")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if len(peers[0].View()) == 0 {
+		t.Fatal("peer view empty")
+	}
+	// BelievesHub must answer without panicking in both modes; with
+	// gossip ranking actual membership depends on measurements.
+	peers[0].BelievesHub(1)
+}
+
+func TestPeerBelievesHubExplicit(t *testing.T) {
+	p, err := NewPeer(PeerConfig{
+		Self:       9,
+		ListenAddr: "127.0.0.1:0",
+		Peers:      map[NodeID]string{},
+		Strategy:   Ranked,
+		Hubs:       []NodeID{2, 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if !p.BelievesHub(2) || !p.BelievesHub(9) || p.BelievesHub(5) {
+		t.Fatal("explicit hub set not honoured")
+	}
+}

@@ -1,0 +1,61 @@
+// ISP hubs: the paper's motivating deployment for the Ranked strategy —
+// an ISP (or CDN operator) designates a set of well-provisioned nodes as
+// "best" nodes, and most payload traffic emerges onto a hubs-and-spokes
+// structure through them, while regular subscribers pay close to the
+// optimal one payload per message. Reliability is untouched: every
+// advertisement can still be pulled from any neighbour.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"emcast"
+)
+
+func main() {
+	const nodes = 100
+	cluster, err := emcast.NewCluster(emcast.ClusterConfig{
+		Nodes:        nodes,
+		Strategy:     emcast.Ranked,
+		BestFraction: 0.2, // the ISP provisions 20% of nodes as hubs
+		Seed:         7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A publisher pushes a stream of updates (news items, cache
+	// invalidations, market data ticks...).
+	for i := 0; i < 60; i++ {
+		payload := []byte(fmt.Sprintf("tick %04d", i))
+		if _, err := cluster.Multicast(i%nodes, payload); err != nil {
+			log.Fatal(err)
+		}
+		cluster.Run(200 * time.Millisecond)
+	}
+	cluster.Run(5 * time.Second)
+
+	stats := cluster.Stats()
+	hubs := 0
+	for i := 0; i < nodes; i++ {
+		if cluster.IsHub(i) {
+			hubs++
+		}
+	}
+
+	fmt.Println("=== ISP hubs (Ranked strategy) ===")
+	fmt.Printf("nodes: %d (%d hubs)\n", nodes, hubs)
+	fmt.Printf("delivery rate:     %.2f%%\n", 100*stats.DeliveryRate)
+	fmt.Printf("mean latency:      %v\n", stats.MeanLatency.Round(time.Millisecond))
+	fmt.Println()
+	fmt.Println("payload transmissions per message, by node class:")
+	fmt.Printf("  hubs (best 20%%):  %6.2f   <- hubs carry the dissemination\n", stats.PayloadPerMsgBest)
+	fmt.Printf("  regular nodes:    %6.2f   <- subscribers pay almost nothing\n", stats.PayloadPerMsgLow)
+	fmt.Printf("  overall:          %6.2f   (pure eager gossip would pay ~11 everywhere)\n", stats.PayloadPerMsg)
+	fmt.Println()
+	fmt.Printf("emergent structure: top-5%% of connections carry %.1f%% of payload traffic\n",
+		100*stats.Top5LinkShare)
+	fmt.Println("(an unstructured eager run concentrates only ~7-11% there)")
+}

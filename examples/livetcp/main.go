@@ -1,0 +1,91 @@
+// Live TCP: the same protocol stack over real sockets. Eight peers listen
+// on loopback TCP ports, gossip with the TTL strategy (eager for the first
+// two rounds, lazy IHAVE/IWANT afterwards), and every peer multicasts one
+// message. This is the deployment path for real machines: give each node
+// an address book and it behaves exactly like the simulated nodes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"emcast"
+)
+
+func main() {
+	const n = 8
+	addrs := make(map[emcast.NodeID]string, n)
+	for i := 0; i < n; i++ {
+		addrs[emcast.NodeID(i)] = fmt.Sprintf("127.0.0.1:%d", 42800+i)
+	}
+
+	var mu sync.Mutex
+	received := make(map[emcast.NodeID][]string)
+
+	peers := make([]*emcast.Peer, 0, n)
+	for i := 0; i < n; i++ {
+		self := emcast.NodeID(i)
+		book := make(map[emcast.NodeID]string, n-1)
+		for id, addr := range addrs {
+			if id != self {
+				book[id] = addr
+			}
+		}
+		p, err := emcast.NewPeer(emcast.PeerConfig{
+			Self:       self,
+			ListenAddr: addrs[self],
+			Peers:      book,
+			Strategy:   emcast.TTL,
+			TTLRounds:  2,
+			Fanout:     4,
+			OnDeliver: func(d emcast.Delivery) {
+				mu.Lock()
+				received[d.Node] = append(received[d.Node], string(d.Payload))
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			log.Fatalf("peer %d: %v", i, err)
+		}
+		defer p.Close()
+		peers = append(peers, p)
+	}
+
+	// Every peer announces itself to the group.
+	ids := make([]emcast.MessageID, 0, n)
+	for i, p := range peers {
+		ids = append(ids, p.Multicast([]byte(fmt.Sprintf("hello from peer %d", i))))
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Wait until every peer has delivered every message.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		done := true
+	check:
+		for _, p := range peers {
+			for _, id := range ids {
+				if !p.Delivered(id) {
+					done = false
+					break check
+				}
+			}
+		}
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Println("=== live TCP group ===")
+	for i := 0; i < n; i++ {
+		msgs := received[emcast.NodeID(i)]
+		sort.Strings(msgs)
+		fmt.Printf("peer %d delivered %d/%d messages: %v\n", i, len(msgs), n, msgs)
+	}
+}

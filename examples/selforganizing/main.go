@@ -1,0 +1,49 @@
+// Self-organizing hubs: the fully decentralized deployment path. No node
+// is told who the hubs are and no global knowledge exists anywhere —
+// instead every node measures round-trip times to the random peers in its
+// view, derives its own centrality score, and spreads scores epidemically
+// (the gossip-based ranking the paper sketches in §4.1). The well-placed
+// nodes then *discover themselves* as hubs, and the same emergent
+// hubs-and-spokes structure appears as with an oracle-configured ranking.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"emcast"
+)
+
+func main() {
+	const nodes = 80
+	cluster, err := emcast.NewCluster(emcast.ClusterConfig{
+		Nodes:         nodes,
+		Strategy:      emcast.Ranked,
+		GossipRanking: true, // hubs emerge from run-time measurements
+		BestFraction:  0.2,
+		Seed:          3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i := 0; i < 60; i++ {
+		if _, err := cluster.Multicast(i%nodes, []byte(fmt.Sprintf("update %d", i))); err != nil {
+			log.Fatal(err)
+		}
+		cluster.Run(250 * time.Millisecond)
+	}
+	cluster.Run(10 * time.Second)
+
+	stats := cluster.Stats()
+	fmt.Println("=== self-organizing hubs (gossip-based ranking) ===")
+	fmt.Printf("nodes:                 %d (nobody was configured as a hub)\n", nodes)
+	fmt.Printf("delivery rate:         %.2f%%\n", 100*stats.DeliveryRate)
+	fmt.Printf("mean latency:          %v\n", stats.MeanLatency.Round(time.Millisecond))
+	fmt.Printf("payloads/message:      %.2f overall\n", stats.PayloadPerMsg)
+	fmt.Printf("  truly-central nodes: %.2f   <- discovered themselves via gossip ranking\n", stats.PayloadPerMsgBest)
+	fmt.Printf("  everyone else:       %.2f\n", stats.PayloadPerMsgLow)
+	fmt.Printf("top-5%% link share:     %.1f%% (unstructured baseline is ~5-10%%)\n",
+		100*stats.Top5LinkShare)
+}

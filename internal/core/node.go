@@ -1,0 +1,367 @@
+// Package core composes the full protocol stack of the paper's Fig. 1 into
+// a single reusable node: the eager push gossip protocol on top, the
+// Payload Scheduler (lazy point-to-point module driven by a transmission
+// strategy and a performance monitor) below it, and the peer sampling
+// service beside them — all over an abstract transport, so the same node
+// runs unmodified inside the discrete-event emulator and over real TCP.
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"emcast/internal/gossip"
+	"emcast/internal/ids"
+	"emcast/internal/lazy"
+	"emcast/internal/membership"
+	"emcast/internal/monitor"
+	"emcast/internal/msg"
+	"emcast/internal/peer"
+	"emcast/internal/ranking"
+	"emcast/internal/strategy"
+	"emcast/internal/trace"
+)
+
+// Config aggregates the configuration of every layer. The defaults mirror
+// the paper's evaluation setup (§5.2): gossip fanout 11, overlay fanout 15,
+// retransmission period 400 ms.
+type Config struct {
+	Gossip     gossip.Config
+	Lazy       lazy.Config
+	Membership membership.Config
+
+	// ShufflePeriod is how often the node initiates a view shuffle.
+	// Zero disables shuffling (the simulator seeds warm views, matching
+	// the paper's measured phase which starts after overlay warm-up).
+	ShufflePeriod time.Duration
+	// PingPeriod is how often the node probes a random neighbour to feed
+	// the run-time latency monitor. Zero disables probing.
+	PingPeriod time.Duration
+	// RankGossipPeriod is how often the node refreshes its own
+	// centrality score and pushes a score sample to a random neighbour
+	// (gossip-based ranking, paper §4.1). Zero disables; requires
+	// Options.Ranking and Options.EWMA.
+	RankGossipPeriod time.Duration
+	// Seed drives the node's protocol randomness and id generation.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's evaluation configuration.
+func DefaultConfig() Config {
+	return Config{
+		Gossip:        gossip.Config{Fanout: 11, MaxRounds: 8},
+		Lazy:          lazy.Config{RequestPeriod: 400 * time.Millisecond},
+		Membership:    membership.DefaultConfig(),
+		ShufflePeriod: 2 * time.Second,
+	}
+}
+
+// Node is one protocol participant.
+type Node struct {
+	mu sync.Mutex
+
+	cfg     Config
+	env     *peer.Env
+	view    *membership.View
+	gossip  *gossip.Gossip
+	lazy    *lazy.Module
+	ewma    *monitor.EWMA
+	ranking *ranking.Table
+	tracer  trace.Tracer
+
+	deliver     gossip.DeliverFunc
+	pingNonce   uint64
+	pingSent    map[uint64]pingProbe
+	shuffleSent map[peer.ID][]peer.ID
+	stopped     bool
+	shuffleT    peer.Timer
+	pingT       peer.Timer
+	rankT       peer.Timer
+}
+
+type pingProbe struct {
+	to peer.ID
+	at time.Duration
+}
+
+// Options carries the pluggable pieces of a node.
+type Options struct {
+	// Strategy is the transmission strategy (required).
+	Strategy strategy.Strategy
+	// Deliver is the application delivery upcall (optional).
+	Deliver gossip.DeliverFunc
+	// Tracer records protocol events (optional).
+	Tracer trace.Tracer
+	// EWMA, when non-nil, is fed by ping/pong round trips (enable with
+	// Config.PingPeriod) and can back run-time Radius/Ranked strategies.
+	EWMA *monitor.EWMA
+	// Ranking, when non-nil, participates in the gossip-based ranking
+	// protocol (enable with Config.RankGossipPeriod): the node derives
+	// its centrality score from EWMA observations and spreads score
+	// samples epidemically. Its IsBest can back the Ranked strategy.
+	Ranking *ranking.Table
+}
+
+// NewNode assembles a node over env. The caller must route inbound frames
+// to HandleFrame and call Start to launch periodic tasks.
+func NewNode(cfg Config, env *peer.Env, opts Options) *Node {
+	if opts.Strategy == nil {
+		panic("core: Options.Strategy is required")
+	}
+	tracer := opts.Tracer
+	if tracer == nil {
+		tracer = trace.Nop{}
+	}
+	if env.RNG == nil {
+		env.RNG = rand.New(rand.NewSource(cfg.Seed))
+	}
+	n := &Node{
+		cfg:         cfg,
+		env:         env,
+		tracer:      tracer,
+		deliver:     opts.Deliver,
+		ewma:        opts.EWMA,
+		ranking:     opts.Ranking,
+		pingSent:    make(map[uint64]pingProbe),
+		shuffleSent: make(map[peer.ID][]peer.ID),
+	}
+	n.view = membership.NewView(cfg.Membership, env.Self(), env.RNG)
+	n.lazy = lazy.New(cfg.Lazy, env, opts.Strategy, tracer)
+	n.lazy.SetLocker(&n.mu)
+	gen := ids.NewGenerator(cfg.Seed ^ int64(env.Self())<<32 ^ 0x1e3779b97f4a7c15)
+	n.gossip = gossip.New(cfg.Gossip, env.Self(), gen, n.view, n.lazy, n.appDeliver, env.Clock, tracer)
+	n.lazy.SetReceiver(n.gossip)
+	return n
+}
+
+func (n *Node) appDeliver(id ids.ID, payload []byte) {
+	if n.deliver != nil {
+		n.deliver(id, payload)
+	}
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() peer.ID { return n.env.Self() }
+
+// SeedView initialises the node's partial view (bootstrap or simulator
+// warm-up).
+func (n *Node) SeedView(ps []peer.ID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.view.Seed(ps)
+}
+
+// View returns a copy of the node's current partial view.
+func (n *Node) View() []peer.ID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.view.Peers()
+}
+
+// Start launches the node's periodic tasks (shuffling, latency probing).
+func (n *Node) Start() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stopped = false
+	if n.cfg.ShufflePeriod > 0 {
+		n.scheduleShuffle()
+	}
+	if n.cfg.PingPeriod > 0 && n.ewma != nil {
+		n.schedulePing()
+	}
+	if n.cfg.RankGossipPeriod > 0 && n.ranking != nil {
+		n.scheduleRankGossip()
+	}
+}
+
+// Stop cancels periodic tasks. In-flight frames are still handled.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stopped = true
+	if n.shuffleT != nil {
+		n.shuffleT.Stop()
+	}
+	if n.pingT != nil {
+		n.pingT.Stop()
+	}
+	if n.rankT != nil {
+		n.rankT.Stop()
+	}
+}
+
+// Multicast disseminates payload to the overlay and returns the message id.
+func (n *Node) Multicast(payload []byte) ids.ID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.gossip.Multicast(payload)
+}
+
+// Delivered reports whether the node has delivered message id.
+func (n *Node) Delivered(id ids.ID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.gossip.Knows(id)
+}
+
+// PendingRequests returns the number of advertised messages whose payload
+// has not arrived yet.
+func (n *Node) PendingRequests() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lazy.PendingRequests()
+}
+
+// HandleFrame routes one inbound wire frame to the owning layer. Malformed
+// frames are dropped, matching the unreliable transport assumption.
+func (n *Node) HandleFrame(from peer.ID, frame []byte) {
+	f, err := msg.Decode(frame)
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch f := f.(type) {
+	case *msg.Msg:
+		n.lazy.OnMsg(f.ID, f.Payload, int(f.Round), from)
+	case *msg.IHave:
+		n.lazy.OnIHave(f.ID, from)
+	case *msg.IWant:
+		n.lazy.OnIWant(f.ID, from)
+	case *msg.Shuffle:
+		// Cyclon-style exchange: answer with our own sample, then swap
+		// the received entries in for the ones we just handed out.
+		sample := n.view.ShuffleSample()
+		n.env.Transport.Send(from, (&msg.ShuffleReply{View: sample}).Encode(nil))
+		n.view.MergeExchange(f.View, sample)
+	case *msg.ShuffleReply:
+		sent := n.shuffleSent[from]
+		delete(n.shuffleSent, from)
+		n.view.MergeExchange(f.View, sent)
+	case *msg.Join:
+		reply := (&msg.JoinReply{View: append(n.view.ShuffleSample(), n.env.Self())}).Encode(nil)
+		n.view.Add(from)
+		n.env.Transport.Send(from, reply)
+	case *msg.JoinReply:
+		n.view.Merge(f.View)
+	case *msg.Ping:
+		n.env.Transport.Send(from, (&msg.Pong{Nonce: f.Nonce}).Encode(nil))
+	case *msg.Pong:
+		if probe, ok := n.pingSent[f.Nonce]; ok && probe.to == from {
+			delete(n.pingSent, f.Nonce)
+			if n.ewma != nil {
+				n.ewma.Observe(from, n.env.Now()-probe.at)
+			}
+		}
+	case *msg.Scores:
+		if n.ranking != nil {
+			n.ranking.Merge(f.Scores)
+		}
+	}
+}
+
+// Join introduces the node to the overlay through a contact node.
+func (n *Node) Join(contact peer.ID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.view.Add(contact)
+	n.env.Transport.Send(contact, (&msg.Join{}).Encode(nil))
+}
+
+func (n *Node) scheduleShuffle() {
+	n.shuffleT = n.env.Timers.AfterFunc(n.jittered(n.cfg.ShufflePeriod), func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if n.stopped {
+			return
+		}
+		if partner := n.view.ShufflePartner(); partner != peer.None {
+			sample := n.view.ShuffleSample()
+			n.shuffleSent[partner] = sample
+			n.env.Transport.Send(partner, (&msg.Shuffle{View: sample}).Encode(nil))
+		}
+		// Outstanding samples whose reply was lost must not pile up.
+		if len(n.shuffleSent) > 4*n.cfg.Membership.ViewSize+64 {
+			n.shuffleSent = make(map[peer.ID][]peer.ID)
+		}
+		n.scheduleShuffle()
+	})
+}
+
+func (n *Node) schedulePing() {
+	n.pingT = n.env.Timers.AfterFunc(n.jittered(n.cfg.PingPeriod), func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if n.stopped {
+			return
+		}
+		if targets := n.view.Sample(1); len(targets) == 1 {
+			n.pingNonce++
+			nonce := n.pingNonce
+			n.pingSent[nonce] = pingProbe{to: targets[0], at: n.env.Now()}
+			n.env.Transport.Send(targets[0], (&msg.Ping{Nonce: nonce}).Encode(nil))
+		}
+		// Probes whose pong was lost would otherwise accumulate
+		// forever; anything older than a few periods is dead.
+		if len(n.pingSent) > 64 {
+			cutoff := n.env.Now() - 8*n.cfg.PingPeriod
+			for nonce, probe := range n.pingSent {
+				if probe.at < cutoff {
+					delete(n.pingSent, nonce)
+				}
+			}
+		}
+		n.schedulePing()
+	})
+}
+
+func (n *Node) scheduleRankGossip() {
+	n.rankT = n.env.Timers.AfterFunc(n.jittered(n.cfg.RankGossipPeriod), func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if n.stopped {
+			return
+		}
+		n.refreshOwnScore()
+		if partner := n.view.ShufflePartner(); partner != peer.None {
+			if sample := n.ranking.Sample(); len(sample) > 0 {
+				n.env.Transport.Send(partner, (&msg.Scores{Scores: sample}).Encode(nil))
+			}
+		}
+		n.scheduleRankGossip()
+	})
+}
+
+// refreshOwnScore derives this node's centrality score: the mean measured
+// metric to the members of its partial view. Since the view is a uniform
+// sample of the overlay, this estimates the node's mean distance to the
+// whole group — the same criterion the oracle ranking uses globally.
+func (n *Node) refreshOwnScore() {
+	if n.ewma == nil {
+		return
+	}
+	sum, count := 0.0, 0
+	for _, p := range n.view.Peers() {
+		if m := n.ewma.Metric(p); !math.IsInf(m, 0) {
+			sum += m
+			count++
+		}
+	}
+	if count > 0 {
+		n.ranking.SetOwnScore(sum / float64(count))
+	}
+}
+
+// Ranking exposes the node's ranking table (nil when disabled).
+func (n *Node) Ranking() *ranking.Table { return n.ranking }
+
+// jittered spreads periodic tasks by ±25% so nodes do not synchronise.
+func (n *Node) jittered(d time.Duration) time.Duration {
+	quarter := int64(d) / 4
+	if quarter <= 0 {
+		return d
+	}
+	return d - time.Duration(quarter) + time.Duration(n.env.RNG.Int63n(2*quarter))
+}

@@ -1,0 +1,273 @@
+// Package emunet is a deterministic discrete-event network emulator playing
+// the role ModelNet plays in the paper (§5.1): it applies per-path delay,
+// bandwidth and loss to traffic between protocol instances running
+// unmodified protocol code.
+//
+// The emulator is single-threaded over a virtual clock. Events (frame
+// deliveries and timer callbacks) execute in a total order keyed by
+// (time, sequence), so a run is exactly reproducible from its seed. Nodes
+// can be silenced to emulate the paper's firewall-based failure injection
+// (§6.3): a silenced node's inbound and outbound packets are dropped while
+// its local timers keep running.
+package emunet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Handler receives frames delivered to a node.
+type Handler interface {
+	HandleFrame(from int, frame []byte)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from int, frame []byte)
+
+// HandleFrame calls f(from, frame).
+func (f HandlerFunc) HandleFrame(from int, frame []byte) { f(from, frame) }
+
+// LatencyFunc returns the one-way propagation delay between two nodes.
+type LatencyFunc func(from, to int) time.Duration
+
+// Config tunes emulator behaviour beyond pure propagation delay.
+type Config struct {
+	// Loss is the independent probability that any frame is dropped,
+	// emulating network omissions.
+	Loss float64
+	// Bandwidth is the per-directed-link throughput in bytes/second used
+	// to model serialisation delay and queueing. Zero disables bandwidth
+	// modelling. The paper's ModelNet deployment used 100 Mbit/s links.
+	Bandwidth float64
+	// Jitter adds a uniform random extra delay in [0, Jitter) per frame.
+	Jitter time.Duration
+	// Seed drives loss and jitter randomness.
+	Seed int64
+}
+
+// Network is a simulated packet network between n nodes.
+type Network struct {
+	cfg      Config
+	latency  LatencyFunc
+	rng      *rand.Rand
+	now      time.Duration
+	seq      uint64
+	events   eventHeap
+	handlers []Handler
+	silenced []bool
+	linkBusy map[linkKey]time.Duration
+
+	// Counters for run statistics (paper §5.4).
+	FramesSent      uint64
+	FramesDelivered uint64
+	FramesLost      uint64
+	BytesDelivered  uint64
+}
+
+type linkKey struct{ from, to int }
+
+// New creates a network of n nodes with the given one-way latency model.
+func New(n int, latency LatencyFunc, cfg Config) *Network {
+	return &Network{
+		cfg:      cfg,
+		latency:  latency,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		handlers: make([]Handler, n),
+		silenced: make([]bool, n),
+		linkBusy: make(map[linkKey]time.Duration),
+	}
+}
+
+// Size returns the number of nodes in the network.
+func (n *Network) Size() int { return len(n.handlers) }
+
+// Register installs the frame handler for a node. It must be called before
+// frames are delivered to that node; frames to unregistered nodes are
+// dropped.
+func (n *Network) Register(node int, h Handler) {
+	n.handlers[node] = h
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.now }
+
+// Silence drops all future traffic to and from the node, emulating the
+// paper's firewall-rule failure injection. The node's timers keep firing;
+// it simply cannot communicate.
+func (n *Network) Silence(node int) { n.silenced[node] = true }
+
+// Silenced reports whether the node is currently silenced.
+func (n *Network) Silenced(node int) bool { return n.silenced[node] }
+
+// Restore re-enables traffic for a previously silenced node.
+func (n *Network) Restore(node int) { n.silenced[node] = false }
+
+// Send transmits a frame from one node to another, applying loss,
+// serialisation and propagation delay. The frame is copied, so callers may
+// reuse the buffer.
+func (n *Network) Send(from, to int, frame []byte) {
+	n.FramesSent++
+	if n.silenced[from] || n.silenced[to] {
+		n.FramesLost++
+		return
+	}
+	if n.cfg.Loss > 0 && n.rng.Float64() < n.cfg.Loss {
+		n.FramesLost++
+		return
+	}
+	depart := n.now
+	if n.cfg.Bandwidth > 0 {
+		key := linkKey{from, to}
+		if busyUntil := n.linkBusy[key]; busyUntil > depart {
+			depart = busyUntil
+		}
+		ser := time.Duration(float64(len(frame)) / n.cfg.Bandwidth * float64(time.Second))
+		depart += ser
+		n.linkBusy[key] = depart
+	}
+	delay := n.latency(from, to)
+	if n.cfg.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+	}
+	cp := append([]byte(nil), frame...)
+	n.push(depart+delay, event{kind: evDeliver, from: from, to: to, frame: cp})
+}
+
+// Timer is a cancellable scheduled callback.
+type Timer struct {
+	n       *Network
+	seq     uint64
+	stopped bool
+	fired   bool
+}
+
+// Stop cancels the timer, reporting whether it was still pending.
+func (t *Timer) Stop() bool {
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// AfterFunc schedules fn to run at virtual time Now()+d. Callbacks run on
+// the simulation goroutine in event order.
+func (n *Network) AfterFunc(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	t := &Timer{n: n}
+	t.seq = n.push(n.now+d, event{kind: evTimer, fn: fn, timer: t})
+	return t
+}
+
+// Step executes the single next event. It reports false when no events
+// remain.
+func (n *Network) Step() bool {
+	for n.events.Len() > 0 {
+		ev := heap.Pop(&n.events).(event)
+		if ev.at < n.now {
+			panic(fmt.Sprintf("emunet: time went backwards: %v < %v", ev.at, n.now))
+		}
+		n.now = ev.at
+		switch ev.kind {
+		case evDeliver:
+			if n.silenced[ev.from] || n.silenced[ev.to] {
+				n.FramesLost++
+				continue
+			}
+			h := n.handlers[ev.to]
+			if h == nil {
+				n.FramesLost++
+				continue
+			}
+			n.FramesDelivered++
+			n.BytesDelivered += uint64(len(ev.frame))
+			h.HandleFrame(ev.from, ev.frame)
+		case evTimer:
+			if ev.timer.stopped {
+				continue
+			}
+			ev.timer.fired = true
+			ev.fn()
+		}
+		return true
+	}
+	return false
+}
+
+// Run executes events until the virtual clock reaches deadline or the event
+// queue drains. It returns the number of events executed.
+func (n *Network) Run(deadline time.Duration) int {
+	steps := 0
+	for n.events.Len() > 0 && n.events[0].at <= deadline {
+		n.Step()
+		steps++
+	}
+	if n.now < deadline {
+		n.now = deadline
+	}
+	return steps
+}
+
+// RunUntilIdle executes events until the queue drains or maxEvents is
+// reached (a safety valve against livelock in periodic protocols; pass 0
+// for no limit). It returns the number of events executed.
+func (n *Network) RunUntilIdle(maxEvents int) int {
+	steps := 0
+	for n.Step() {
+		steps++
+		if maxEvents > 0 && steps >= maxEvents {
+			break
+		}
+	}
+	return steps
+}
+
+type eventKind int
+
+const (
+	evDeliver eventKind = iota + 1
+	evTimer
+)
+
+type event struct {
+	at    time.Duration
+	seq   uint64
+	kind  eventKind
+	from  int
+	to    int
+	frame []byte
+	fn    func()
+	timer *Timer
+}
+
+func (n *Network) push(at time.Duration, ev event) uint64 {
+	n.seq++
+	ev.at = at
+	ev.seq = n.seq
+	heap.Push(&n.events, ev)
+	return ev.seq
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,325 @@
+package emunet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func constLatency(d time.Duration) LatencyFunc {
+	return func(from, to int) time.Duration { return d }
+}
+
+type recorder struct {
+	frames []recorded
+	net    *Network
+}
+
+type recorded struct {
+	from  int
+	at    time.Duration
+	frame []byte
+}
+
+func (r *recorder) HandleFrame(from int, frame []byte) {
+	r.frames = append(r.frames, recorded{from: from, at: r.net.Now(), frame: frame})
+}
+
+func TestDeliveryLatency(t *testing.T) {
+	n := New(2, constLatency(25*time.Millisecond), Config{})
+	rec := &recorder{net: n}
+	n.Register(1, rec)
+	n.Send(0, 1, []byte("x"))
+	n.RunUntilIdle(0)
+	if len(rec.frames) != 1 {
+		t.Fatalf("delivered %d frames, want 1", len(rec.frames))
+	}
+	if rec.frames[0].at != 25*time.Millisecond {
+		t.Fatalf("delivered at %v, want 25ms", rec.frames[0].at)
+	}
+	if rec.frames[0].from != 0 {
+		t.Fatalf("from = %d, want 0", rec.frames[0].from)
+	}
+}
+
+func TestFrameIsCopied(t *testing.T) {
+	n := New(2, constLatency(time.Millisecond), Config{})
+	rec := &recorder{net: n}
+	n.Register(1, rec)
+	buf := []byte("abc")
+	n.Send(0, 1, buf)
+	buf[0] = 'Z' // caller reuses the buffer before delivery
+	n.RunUntilIdle(0)
+	if string(rec.frames[0].frame) != "abc" {
+		t.Fatalf("frame = %q, want %q (must be copied on Send)", rec.frames[0].frame, "abc")
+	}
+}
+
+func TestSameLinkFIFO(t *testing.T) {
+	n := New(2, constLatency(10*time.Millisecond), Config{})
+	rec := &recorder{net: n}
+	n.Register(1, rec)
+	for i := byte(0); i < 10; i++ {
+		n.Send(0, 1, []byte{i})
+	}
+	n.RunUntilIdle(0)
+	for i := byte(0); i < 10; i++ {
+		if rec.frames[i].frame[0] != i {
+			t.Fatalf("frame %d out of order", i)
+		}
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	n := New(2, constLatency(time.Millisecond), Config{Loss: 0.5, Seed: 3})
+	rec := &recorder{net: n}
+	n.Register(1, rec)
+	const total = 10000
+	for i := 0; i < total; i++ {
+		n.Send(0, 1, []byte("x"))
+	}
+	n.RunUntilIdle(0)
+	got := len(rec.frames)
+	if got < total*40/100 || got > total*60/100 {
+		t.Fatalf("delivered %d of %d with 50%% loss", got, total)
+	}
+	if n.FramesLost != uint64(total-got) {
+		t.Fatalf("FramesLost = %d, want %d", n.FramesLost, total-got)
+	}
+}
+
+func TestSilence(t *testing.T) {
+	n := New(3, constLatency(time.Millisecond), Config{})
+	rec1 := &recorder{net: n}
+	rec2 := &recorder{net: n}
+	n.Register(1, rec1)
+	n.Register(2, rec2)
+
+	n.Silence(1)
+	if !n.Silenced(1) || n.Silenced(2) {
+		t.Fatal("silence state wrong")
+	}
+	n.Send(0, 1, []byte("to-silenced"))   // inbound: dropped
+	n.Send(1, 2, []byte("from-silenced")) // outbound: dropped
+	n.Send(0, 2, []byte("unaffected"))
+	n.RunUntilIdle(0)
+	if len(rec1.frames) != 0 {
+		t.Fatal("silenced node received a frame")
+	}
+	if len(rec2.frames) != 1 || string(rec2.frames[0].frame) != "unaffected" {
+		t.Fatalf("live node frames = %v", rec2.frames)
+	}
+
+	n.Restore(1)
+	n.Send(0, 1, []byte("after-restore"))
+	n.RunUntilIdle(0)
+	if len(rec1.frames) != 1 {
+		t.Fatal("restored node did not receive")
+	}
+}
+
+func TestSilenceDropsInFlight(t *testing.T) {
+	// A frame already in flight to a node silenced before delivery is
+	// dropped (the firewall analogy: packets are filtered at arrival).
+	n := New(2, constLatency(10*time.Millisecond), Config{})
+	rec := &recorder{net: n}
+	n.Register(1, rec)
+	n.Send(0, 1, []byte("x"))
+	n.Silence(1)
+	n.RunUntilIdle(0)
+	if len(rec.frames) != 0 {
+		t.Fatal("in-flight frame delivered to silenced node")
+	}
+}
+
+func TestTimers(t *testing.T) {
+	n := New(1, constLatency(0), Config{})
+	var order []int
+	n.AfterFunc(30*time.Millisecond, func() { order = append(order, 3) })
+	n.AfterFunc(10*time.Millisecond, func() { order = append(order, 1) })
+	n.AfterFunc(20*time.Millisecond, func() { order = append(order, 2) })
+	n.RunUntilIdle(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("timer order = %v", order)
+	}
+	if n.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", n.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	n := New(1, constLatency(0), Config{})
+	fired := false
+	timer := n.AfterFunc(time.Millisecond, func() { fired = true })
+	if !timer.Stop() {
+		t.Fatal("Stop on pending timer returned false")
+	}
+	if timer.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	n.RunUntilIdle(0)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+
+	t2 := n.AfterFunc(0, func() {})
+	n.RunUntilIdle(0)
+	if t2.Stop() {
+		t.Fatal("Stop after firing returned true")
+	}
+}
+
+func TestNegativeDelayFiresImmediately(t *testing.T) {
+	n := New(1, constLatency(0), Config{})
+	fired := false
+	n.AfterFunc(-5*time.Second, func() { fired = true })
+	n.RunUntilIdle(0)
+	if !fired || n.Now() != 0 {
+		t.Fatalf("fired=%v now=%v", fired, n.Now())
+	}
+}
+
+func TestRunDeadlineSemantics(t *testing.T) {
+	n := New(1, constLatency(0), Config{})
+	var fired []time.Duration
+	for _, d := range []time.Duration{5, 10, 15, 20} {
+		d := d * time.Millisecond
+		n.AfterFunc(d, func() { fired = append(fired, d) })
+	}
+	n.Run(12 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d timers by 12ms, want 2", len(fired))
+	}
+	if n.Now() != 12*time.Millisecond {
+		t.Fatalf("clock = %v, want deadline 12ms", n.Now())
+	}
+	n.Run(100 * time.Millisecond)
+	if len(fired) != 4 {
+		t.Fatalf("fired %d timers total, want 4", len(fired))
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	// Handlers scheduling more events must interleave correctly.
+	n := New(2, constLatency(5*time.Millisecond), Config{})
+	var hops []time.Duration
+	n.Register(1, HandlerFunc(func(from int, frame []byte) {
+		hops = append(hops, n.Now())
+		if len(frame) < 3 {
+			n.Send(1, 0, append(frame, 1))
+		}
+	}))
+	n.Register(0, HandlerFunc(func(from int, frame []byte) {
+		hops = append(hops, n.Now())
+		n.Send(0, 1, append(frame, 0))
+	}))
+	n.Send(0, 1, []byte{0})
+	n.RunUntilIdle(0)
+	// Hop 1 arrives at node 1 (len 1), hop 2 back at node 0 (len 2),
+	// hop 3 at node 1 (len 3, chain stops).
+	want := []time.Duration{5, 10, 15}
+	if len(hops) != len(want) {
+		t.Fatalf("hops = %v", hops)
+	}
+	for i := range want {
+		if hops[i] != want[i]*time.Millisecond {
+			t.Fatalf("hop %d at %v, want %v", i, hops[i], want[i]*time.Millisecond)
+		}
+	}
+}
+
+func TestBandwidthSerialisation(t *testing.T) {
+	// 1000 bytes/s, 100-byte frames: each frame occupies the link for
+	// 100 ms; three frames queued back-to-back arrive 100 ms apart.
+	n := New(2, constLatency(0), Config{Bandwidth: 1000})
+	rec := &recorder{net: n}
+	n.Register(1, rec)
+	frame := make([]byte, 100)
+	for i := 0; i < 3; i++ {
+		n.Send(0, 1, frame)
+	}
+	n.RunUntilIdle(0)
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 300 * time.Millisecond}
+	for i, w := range want {
+		if rec.frames[i].at != w {
+			t.Fatalf("frame %d at %v, want %v", i, rec.frames[i].at, w)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	n := New(2, constLatency(10*time.Millisecond), Config{Jitter: 5 * time.Millisecond, Seed: 9})
+	rec := &recorder{net: n}
+	n.Register(1, rec)
+	for i := 0; i < 500; i++ {
+		n.Send(0, 1, []byte("x"))
+	}
+	n.RunUntilIdle(0)
+	for _, f := range rec.frames {
+		// All frames sent at t=0; delivery in [10ms, 15ms).
+		if f.at < 10*time.Millisecond || f.at >= 15*time.Millisecond {
+			t.Fatalf("delivery at %v outside jitter bounds", f.at)
+		}
+	}
+}
+
+func TestUnregisteredDrop(t *testing.T) {
+	n := New(2, constLatency(time.Millisecond), Config{})
+	n.Send(0, 1, []byte("x"))
+	n.RunUntilIdle(0)
+	if n.FramesLost != 1 {
+		t.Fatalf("FramesLost = %d, want 1", n.FramesLost)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	n := New(2, constLatency(time.Millisecond), Config{})
+	rec := &recorder{net: n}
+	n.Register(1, rec)
+	n.Send(0, 1, []byte("abcd"))
+	n.Send(0, 1, []byte("ef"))
+	n.RunUntilIdle(0)
+	if n.FramesSent != 2 || n.FramesDelivered != 2 || n.BytesDelivered != 6 {
+		t.Fatalf("counters: sent=%d delivered=%d bytes=%d",
+			n.FramesSent, n.FramesDelivered, n.BytesDelivered)
+	}
+}
+
+// TestQuickEventOrder property-checks that timers fire in non-decreasing
+// time order regardless of insertion order.
+func TestQuickEventOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		n := New(1, constLatency(0), Config{})
+		var fired []time.Duration
+		for _, d := range delays {
+			n.AfterFunc(time.Duration(d)*time.Microsecond, func() {
+				fired = append(fired, n.Now())
+			})
+		}
+		n.RunUntilIdle(0)
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxEventsSafetyValve(t *testing.T) {
+	n := New(1, constLatency(0), Config{})
+	count := 0
+	var loop func()
+	loop = func() {
+		count++
+		n.AfterFunc(time.Millisecond, loop)
+	}
+	n.AfterFunc(0, loop)
+	steps := n.RunUntilIdle(100)
+	if steps != 100 {
+		t.Fatalf("steps = %d, want 100 (bounded)", steps)
+	}
+}

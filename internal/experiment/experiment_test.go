@@ -1,0 +1,353 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickOpts shrinks experiments so the full matrix stays test-sized.
+func quickOpts() Options {
+	return Options{Nodes: 40, Messages: 40, Seed: 3, TopologyScale: 8}
+}
+
+func TestFigureAddPointAndFind(t *testing.T) {
+	f := &Figure{ID: "X", XLabel: "x", YLabel: "y"}
+	f.AddPoint("a", Point{X: 1, Y: 2})
+	f.AddPoint("a", Point{X: 2, Y: 3})
+	f.AddPoint("b", Point{X: 0, Y: 0})
+	if len(f.Series) != 2 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	if s := f.Find("a"); s == nil || len(s.Points) != 2 {
+		t.Fatal("Find(a) wrong")
+	}
+	if f.Find("zzz") != nil {
+		t.Fatal("Find of absent series should be nil")
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := &Figure{ID: "F", Title: "demo", XLabel: "in", YLabel: "out"}
+	f.AddPoint("s", Point{X: 2, Y: 20, Label: "two"})
+	f.AddPoint("s", Point{X: 1, Y: 10, Label: "one"})
+	f.Note("hello %d", 42)
+
+	text := f.String()
+	if !strings.Contains(text, "demo") || !strings.Contains(text, "hello 42") {
+		t.Fatalf("text rendering missing parts:\n%s", text)
+	}
+	// Points render sorted by X.
+	if strings.Index(text, "one") > strings.Index(text, "two") {
+		t.Fatal("String did not sort points by X")
+	}
+
+	csv := f.CSV()
+	if !strings.HasPrefix(csv, "figure,series,in,out,label\n") {
+		t.Fatalf("csv header wrong:\n%s", csv)
+	}
+	if !strings.Contains(csv, "F,s,1,10,one") {
+		t.Fatalf("csv missing row:\n%s", csv)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	f := &Figure{ID: "F", XLabel: "x,1", YLabel: `y"q`}
+	f.AddPoint(`se,ries`, Point{X: 1, Y: 2, Label: "a\nb"})
+	csv := f.CSV()
+	if !strings.Contains(csv, `"x,1"`) || !strings.Contains(csv, `"y""q"`) ||
+		!strings.Contains(csv, `"se,ries"`) || !strings.Contains(csv, "\"a\nb\"") {
+		t.Fatalf("escaping wrong:\n%s", csv)
+	}
+}
+
+func TestTopologyStatsRows(t *testing.T) {
+	f := TopologyStats(quickOpts())
+	if f.ID != "T1" || len(f.Series) != 5 {
+		t.Fatalf("T1 series = %d", len(f.Series))
+	}
+	for _, s := range f.Series {
+		if len(s.Points) != 1 {
+			t.Fatalf("series %s has %d points", s.Name, len(s.Points))
+		}
+		if s.Points[0].Y <= 0 {
+			t.Fatalf("series %s measured %v", s.Name, s.Points[0].Y)
+		}
+	}
+}
+
+// TestEmergentStructureOrdering asserts the paper's Fig. 4 qualitative
+// result: Radius and Ranked concentrate traffic far beyond the eager
+// baseline.
+func TestEmergentStructureOrdering(t *testing.T) {
+	f := EmergentStructure(quickOpts())
+	get := func(name string) float64 {
+		s := f.Find(name)
+		if s == nil {
+			t.Fatalf("missing series %q", name)
+		}
+		return s.Points[0].Y
+	}
+	flat := get("flat (eager)")
+	radius := get("radius")
+	ranked := get("ranked")
+	if radius <= flat || ranked <= flat {
+		t.Fatalf("structure did not emerge: flat=%.1f radius=%.1f ranked=%.1f", flat, radius, ranked)
+	}
+	if radius < 1.5*flat {
+		t.Fatalf("radius concentration %.1f%% not clearly above baseline %.1f%%", radius, flat)
+	}
+}
+
+// TestTradeoffShape asserts Fig. 5(a)'s qualitative results: the flat curve
+// trades payload for latency monotonically-ish, TTL beats Flat, and lazy is
+// slower than eager.
+func TestTradeoffShape(t *testing.T) {
+	f := TradeoffCurves(quickOpts())
+	flat := f.Find("flat")
+	if flat == nil || len(flat.Points) != 5 {
+		t.Fatal("flat sweep incomplete")
+	}
+	var lazyLat, eagerLat, lazyPay, eagerPay float64
+	for _, p := range flat.Points {
+		switch p.Label {
+		case "p=0.00":
+			lazyLat, lazyPay = p.Y, p.X
+		case "p=1.00":
+			eagerLat, eagerPay = p.Y, p.X
+		}
+	}
+	if lazyLat <= eagerLat {
+		t.Fatalf("lazy latency %.0f <= eager %.0f", lazyLat, eagerLat)
+	}
+	if lazyPay >= eagerPay {
+		t.Fatalf("lazy payload %.2f >= eager %.2f", lazyPay, eagerPay)
+	}
+	if lazyPay > 1.3 {
+		t.Fatalf("pure lazy payload/msg = %.2f, want ~1", lazyPay)
+	}
+
+	// TTL dominates Flat somewhere: for some TTL point, a flat point
+	// with comparable traffic has higher latency.
+	ttl := f.Find("TTL")
+	if ttl == nil {
+		t.Fatal("missing TTL series")
+	}
+	dominated := false
+	for _, tp := range ttl.Points {
+		for _, fp := range flat.Points {
+			if fp.X >= tp.X && fp.Y > tp.Y {
+				dominated = true
+			}
+		}
+	}
+	if !dominated {
+		t.Fatal("TTL does not improve on the flat trade-off anywhere")
+	}
+
+	for _, name := range []string{"radius", "ranked (all)", "ranked (low)"} {
+		if f.Find(name) == nil {
+			t.Fatalf("missing series %q", name)
+		}
+	}
+}
+
+// TestReliabilityShape asserts Fig. 5(b): deliveries stay high through 40%
+// failures for all variants, including killing the best nodes.
+func TestReliabilityShape(t *testing.T) {
+	f := Reliability(quickOpts())
+	for _, name := range []string{"flat/random", "ranked/random", "ranked/ranked"} {
+		s := f.Find(name)
+		if s == nil {
+			t.Fatalf("missing series %q", name)
+		}
+		for _, p := range s.Points {
+			if p.X <= 40 && p.Y < 95 {
+				t.Fatalf("%s: deliveries %.1f%% at %.0f%% dead, want >= 95%%", name, p.Y, p.X)
+			}
+		}
+	}
+}
+
+// TestHybridShape asserts Fig. 5(c): the hybrid strategy cuts latency far
+// below pure lazy while regular nodes pay much less than hubs.
+func TestHybridShape(t *testing.T) {
+	f := HybridCurves(quickOpts())
+	all := f.Find("combined (all)")
+	low := f.Find("combined (low)")
+	if all == nil || low == nil {
+		t.Fatal("missing combined series")
+	}
+	for i := range all.Points {
+		if low.Points[i].X >= all.Points[i].X {
+			t.Fatalf("low payload %.2f not below overall %.2f", low.Points[i].X, all.Points[i].X)
+		}
+	}
+	ttl := f.Find("TTL")
+	var lazyLat float64
+	for _, p := range ttl.Points {
+		if p.Label == "u=1" {
+			lazyLat = p.Y
+		}
+	}
+	for _, p := range all.Points {
+		if p.Y >= lazyLat {
+			t.Fatalf("hybrid latency %.0f not below pure-lazy %.0f", p.Y, lazyLat)
+		}
+	}
+}
+
+// TestNoiseShape asserts Fig. 6: structure decays toward the unstructured
+// baseline as noise grows while total payload stays roughly constant.
+func TestNoiseShape(t *testing.T) {
+	payload, latency, structure := NoiseSweep(quickOpts())
+	for _, name := range []string{"radius", "ranked"} {
+		s := structure.Find(name)
+		if s == nil {
+			t.Fatalf("missing structure series %q", name)
+		}
+		first, last := s.Points[0], s.Points[len(s.Points)-1]
+		if first.X != 0 || last.X != 100 {
+			t.Fatalf("noise sweep endpoints wrong: %v..%v", first.X, last.X)
+		}
+		if last.Y >= first.Y {
+			t.Fatalf("%s: top-5%% share did not decay (%.1f -> %.1f)", name, first.Y, last.Y)
+		}
+
+		p := payload.Find(name)
+		ratio := p.Points[len(p.Points)-1].Y / p.Points[0].Y
+		if ratio < 0.8 || ratio > 1.3 {
+			t.Fatalf("%s: noise changed total payload by %.2fx, must be ~constant", name, ratio)
+		}
+	}
+	if latency.Find("ranked") == nil || latency.Find("radius") == nil {
+		t.Fatal("missing latency series")
+	}
+	// Regular ranked nodes' contribution must climb toward the overall
+	// average as structure blurs (paper §6.5).
+	lowSeries := payload.Find("ranked (low)")
+	allSeries := payload.Find("ranked")
+	lowStart := lowSeries.Points[0].Y
+	lowEnd := lowSeries.Points[len(lowSeries.Points)-1].Y
+	allEnd := allSeries.Points[len(allSeries.Points)-1].Y
+	if lowEnd <= lowStart {
+		t.Fatalf("ranked(low) did not rise with noise: %.2f -> %.2f", lowStart, lowEnd)
+	}
+	if lowEnd < 0.8*allEnd {
+		t.Fatalf("ranked(low) %.2f did not converge to overall %.2f at o=1", lowEnd, allEnd)
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	f := RunStats(quickOpts())
+	if len(f.Series) != 2 {
+		t.Fatalf("S1 series = %d", len(f.Series))
+	}
+	deliveries := f.Find("messages delivered").Points[0]
+	// 40 nodes x 40 messages: every node delivers every message under
+	// eager push.
+	if deliveries.Y != 1600 {
+		t.Fatalf("deliveries = %v, want 1600", deliveries.Y)
+	}
+}
+
+func TestAllRunsEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment matrix in -short mode")
+	}
+	o := quickOpts()
+	o.Nodes, o.Messages = 25, 20
+	figs := All(o)
+	wantIDs := []string{"T1", "Fig4", "Fig5a", "Fig5b", "Fig5c", "Fig6a", "Fig6b", "Fig6c", "S1", "S2", "A1", "A2"}
+	if len(figs) != len(wantIDs) {
+		t.Fatalf("All returned %d figures, want %d", len(figs), len(wantIDs))
+	}
+	for i, f := range figs {
+		if f.ID != wantIDs[i] {
+			t.Fatalf("figure %d = %s, want %s", i, f.ID, wantIDs[i])
+		}
+		if len(f.Series) == 0 {
+			t.Fatalf("figure %s empty", f.ID)
+		}
+	}
+}
+
+func TestStructureMapCSV(t *testing.T) {
+	o := quickOpts()
+	o.Nodes, o.Messages = 20, 10
+	csv := StructureMap(o)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "strategy,nodeA,nodeB,ax,ay,bx,by,payloads,bytes" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) < 10 {
+		t.Fatalf("only %d link rows", len(lines)-1)
+	}
+	seen := map[string]bool{}
+	for _, l := range lines[1:] {
+		seen[strings.SplitN(l, ",", 2)[0]] = true
+	}
+	for _, s := range []string{"eager", "radius", "ranked"} {
+		if !seen[s] {
+			t.Fatalf("missing strategy %q in map export", s)
+		}
+	}
+}
+
+// TestScale200 asserts the §5.3 scale validation: low-bandwidth
+// configurations keep their payload/msg level when the population doubles.
+func TestScale200(t *testing.T) {
+	o := quickOpts()
+	o.Nodes, o.Messages = 25, 25
+	f := Scale200(o)
+	for _, name := range []string{"lazy", "TTL u=2", "ranked"} {
+		s := f.Find(name)
+		if s == nil || len(s.Points) != 2 {
+			t.Fatalf("series %q incomplete", name)
+		}
+		small, big := s.Points[0], s.Points[1]
+		if big.X != 2*small.X {
+			t.Fatalf("%s: node counts %v, %v", name, small.X, big.X)
+		}
+		if big.Y > small.Y*1.5+0.5 {
+			t.Fatalf("%s: payload/msg grew from %.2f to %.2f at 2x nodes", name, small.Y, big.Y)
+		}
+	}
+}
+
+// TestChurn asserts late joiners catch up under every strategy without
+// hurting established nodes.
+func TestChurn(t *testing.T) {
+	o := quickOpts()
+	o.Nodes, o.Messages = 30, 40
+	f := Churn(o)
+	if len(f.Series) != 3 {
+		t.Fatalf("A2 series = %d", len(f.Series))
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if p.Y < 90 {
+				t.Fatalf("%s: joiner coverage %.1f%% at %v%% churn", s.Name, p.Y, p.X)
+			}
+		}
+	}
+}
+
+func TestApproximateRanking(t *testing.T) {
+	f := ApproximateRanking(quickOpts())
+	if len(f.Series) != 3 {
+		t.Fatalf("A1 series = %d, want 3", len(f.Series))
+	}
+	for _, s := range f.Series {
+		p := s.Points[0]
+		if p.X <= 0 || p.Y <= 0 {
+			t.Fatalf("series %s: degenerate point %+v", s.Name, p)
+		}
+	}
+}
+
+func TestOptionsFill(t *testing.T) {
+	o := Options{}.fill()
+	if o.Nodes != 100 || o.Messages != 400 || o.Seed != 1 || o.TopologyScale != 1 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}

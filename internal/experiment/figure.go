@@ -1,0 +1,107 @@
+// Package experiment defines one runner per table and figure of the
+// paper's evaluation (§5-§6), producing the same rows/series the paper
+// reports. Each runner assembles simulations via internal/sim and reduces
+// their results to labelled series, which the CLI and the benchmark
+// harness render as text.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Point is one measurement of a series.
+type Point struct {
+	// X is the swept parameter (payload/msg, dead-node %, noise %...).
+	X float64
+	// Y is the measured value (latency ms, deliveries %, traffic %...).
+	Y float64
+	// Label annotates the point with the underlying configuration.
+	Label string
+}
+
+// Series is a named curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is the result of reproducing one paper artefact.
+type Figure struct {
+	// ID is the paper artefact identifier (e.g. "Fig5a").
+	ID string
+	// Title describes the artefact.
+	Title string
+	// XLabel / YLabel name the axes.
+	XLabel, YLabel string
+	// Series holds the measured curves.
+	Series []Series
+	// Notes records paper-vs-measured commentary.
+	Notes []string
+}
+
+// AddPoint appends a point to the named series, creating it if necessary.
+func (f *Figure) AddPoint(series string, p Point) {
+	for i := range f.Series {
+		if f.Series[i].Name == series {
+			f.Series[i].Points = append(f.Series[i].Points, p)
+			return
+		}
+	}
+	f.Series = append(f.Series, Series{Name: series, Points: []Point{p}})
+}
+
+// Note appends a formatted note.
+func (f *Figure) Note(format string, args ...interface{}) {
+	f.Notes = append(f.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the figure as aligned text: one block per series with
+// (x, y, label) rows, matching the rows/series the paper plots.
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "-- %s (%s vs %s)\n", s.Name, f.XLabel, f.YLabel)
+		pts := append([]Point(nil), s.Points...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		for _, p := range pts {
+			fmt.Fprintf(&b, "   %10.3f  %10.3f  %s\n", p.X, p.Y, p.Label)
+		}
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "   note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the figure as series,x,y,label rows.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "figure,series,%s,%s,label\n", csvEscape(f.XLabel), csvEscape(f.YLabel))
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%s,%s,%g,%g,%s\n",
+				csvEscape(f.ID), csvEscape(s.Name), p.X, p.Y, csvEscape(p.Label))
+		}
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Find returns the named series, or nil.
+func (f *Figure) Find(name string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+// Package gossip implements the basic eager push gossip protocol of the
+// paper's Fig. 2: Multicast generates a probabilistically unique identifier
+// and forwards the payload; Forward delivers locally, records the
+// identifier in the known set K, and relays to f peers from the peer
+// sampling service while the relay count is below t; L-Receive discards
+// duplicates via K.
+//
+// The Payload Scheduler below (internal/lazy) is transparent to this layer:
+// gossip only ever calls L-Send and handles L-Receive, exactly as in the
+// paper's architecture (§3.1).
+package gossip
+
+import (
+	"emcast/internal/ids"
+	"emcast/internal/peer"
+	"emcast/internal/trace"
+)
+
+// Config carries the usual gossip configuration parameters f and t
+// (paper [6]).
+type Config struct {
+	// Fanout is f: the number of peers each message is relayed to
+	// (paper evaluation: 11).
+	Fanout int
+	// MaxRounds is t: a message is relayed only while its round count is
+	// below t (paper Fig. 2 line 8).
+	MaxRounds int
+	// KnownCapacity bounds the known-set K. Zero means 65536.
+	KnownCapacity int
+}
+
+func (c *Config) fill() {
+	if c.Fanout <= 0 {
+		c.Fanout = 11
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 8
+	}
+	if c.KnownCapacity <= 0 {
+		c.KnownCapacity = 65536
+	}
+}
+
+// Sampler provides the peer sampling service primitive PeerSample(f).
+type Sampler interface {
+	Sample(f int) []peer.ID
+}
+
+// Sender is the downcall interface to the payload scheduler: the paper's
+// L-Send(i, d, r, p).
+type Sender interface {
+	LSend(id ids.ID, payload []byte, round int, to peer.ID)
+}
+
+// DeliverFunc is the application upcall Deliver(d).
+type DeliverFunc func(id ids.ID, payload []byte)
+
+// Gossip is the per-node gossip state. It is not safe for concurrent use;
+// the owning node serialises access.
+type Gossip struct {
+	cfg     Config
+	self    peer.ID
+	gen     *ids.Generator
+	known   *ids.Set // K: known message identifiers
+	sampler Sampler
+	sender  Sender
+	deliver DeliverFunc
+	tracer  trace.Tracer
+	clock   peer.Clock
+}
+
+// New creates a gossip instance for node self.
+func New(cfg Config, self peer.ID, gen *ids.Generator, sampler Sampler, sender Sender, deliver DeliverFunc, clock peer.Clock, tracer trace.Tracer) *Gossip {
+	cfg.fill()
+	if tracer == nil {
+		tracer = trace.Nop{}
+	}
+	return &Gossip{
+		cfg:     cfg,
+		self:    self,
+		gen:     gen,
+		known:   ids.NewSet(cfg.KnownCapacity),
+		sampler: sampler,
+		sender:  sender,
+		deliver: deliver,
+		tracer:  tracer,
+		clock:   clock,
+	}
+}
+
+// Multicast disseminates payload to all nodes with high probability and
+// returns the message identifier (paper Fig. 2, lines 3-4).
+func (g *Gossip) Multicast(payload []byte) ids.ID {
+	id := g.gen.Next()
+	g.tracer.Multicast(g.self, id, g.clock.Now())
+	g.forward(id, payload, 0)
+	return id
+}
+
+// forward implements Forward(i, d, r): deliver, record, relay.
+func (g *Gossip) forward(id ids.ID, payload []byte, round int) {
+	if g.deliver != nil {
+		g.deliver(id, payload)
+	}
+	g.tracer.Delivered(g.self, id, g.clock.Now())
+	g.known.Add(id)
+	if round >= g.cfg.MaxRounds {
+		return
+	}
+	// Fig. 2 line 11: the wire carries r+1, the relay count of the hop.
+	for _, p := range g.sampler.Sample(g.cfg.Fanout) {
+		g.sender.LSend(id, payload, round+1, p)
+	}
+}
+
+// LReceive implements the paper's L-Receive upcall (Fig. 2, lines 12-14):
+// forward the message unless it is a duplicate. The received round is
+// passed through unchanged; forward increments it when relaying.
+func (g *Gossip) LReceive(id ids.ID, payload []byte, round int, from peer.ID) {
+	if g.known.Contains(id) {
+		return
+	}
+	g.forward(id, payload, round)
+}
+
+// Knows reports whether id is in the known set K.
+func (g *Gossip) Knows(id ids.ID) bool { return g.known.Contains(id) }
+
+// KnownCount returns the current size of K.
+func (g *Gossip) KnownCount() int { return g.known.Len() }

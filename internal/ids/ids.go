@@ -1,0 +1,125 @@
+// Package ids provides probabilistically unique message identifiers and
+// bounded identifier sets, as required by the gossip layer (paper §3.1) and
+// the lazy point-to-point layer (paper §3.2).
+//
+// Identifiers are 128-bit random strings: the paper notes that identifiers
+// "must be unique with high probability, as conflicts will cause deliveries
+// to be omitted" and suggests exactly this construction. Sets support
+// age-based garbage collection so that known-message state does not grow
+// without bound (paper §3.1, referencing [5, 13]).
+package ids
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"math/rand"
+	"sync"
+)
+
+// IDSize is the size of a message identifier in bytes.
+const IDSize = 16
+
+// ID is a 128-bit probabilistically unique message identifier.
+type ID [IDSize]byte
+
+// String returns the hexadecimal form of the identifier.
+func (id ID) String() string {
+	return hex.EncodeToString(id[:])
+}
+
+// IsZero reports whether the identifier is the all-zero value. The zero
+// identifier is reserved and never produced by a Generator.
+func (id ID) IsZero() bool {
+	return id == ID{}
+}
+
+// Generator produces unique identifiers from a seeded random stream. A
+// deterministic seed yields a deterministic identifier sequence, which keeps
+// whole-simulation runs reproducible. Generator is safe for concurrent use.
+type Generator struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	seq uint64
+}
+
+// NewGenerator returns a Generator seeded with seed.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns a fresh identifier. The first 8 bytes are random and the last
+// 8 bytes mix a random value with a strictly increasing sequence number, so
+// identifiers from one generator never collide and identifiers from
+// generators with distinct seeds collide only with probability ~2^-64.
+func (g *Generator) Next() ID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.seq++
+	var id ID
+	binary.BigEndian.PutUint64(id[0:8], g.rng.Uint64())
+	binary.BigEndian.PutUint64(id[8:16], g.rng.Uint64()^g.seq)
+	if id.IsZero() { // reserve the zero value
+		id[15] = 1
+	}
+	return id
+}
+
+// Set is a bounded set of identifiers with FIFO garbage collection: once the
+// set holds more than its capacity, the oldest identifiers are evicted. This
+// implements the paper's requirement that K, R and C are pruned while active
+// messages are retained with high probability.
+type Set struct {
+	capacity int
+	members  map[ID]struct{}
+	order    []ID
+	head     int
+}
+
+// NewSet returns a Set evicting oldest entries beyond capacity. A capacity
+// of zero or less means unbounded.
+func NewSet(capacity int) *Set {
+	return &Set{
+		capacity: capacity,
+		members:  make(map[ID]struct{}),
+	}
+}
+
+// Add inserts id, evicting the oldest entries if the capacity is exceeded.
+// It reports whether the id was newly inserted.
+func (s *Set) Add(id ID) bool {
+	if _, ok := s.members[id]; ok {
+		return false
+	}
+	s.members[id] = struct{}{}
+	s.order = append(s.order, id)
+	s.evict()
+	return true
+}
+
+// Contains reports whether id is in the set.
+func (s *Set) Contains(id ID) bool {
+	_, ok := s.members[id]
+	return ok
+}
+
+// Len returns the number of identifiers currently held.
+func (s *Set) Len() int {
+	return len(s.members)
+}
+
+func (s *Set) evict() {
+	if s.capacity <= 0 {
+		return
+	}
+	for len(s.members) > s.capacity {
+		victim := s.order[s.head]
+		s.order[s.head] = ID{}
+		s.head++
+		delete(s.members, victim)
+	}
+	// Compact the backing slice once the dead prefix dominates.
+	if s.head > len(s.order)/2 && s.head > 64 {
+		s.order = append(s.order[:0], s.order[s.head:]...)
+		s.head = 0
+	}
+}

@@ -1,0 +1,294 @@
+// Package lazy implements the Lazy Point-to-Point module of the Payload
+// Scheduler (paper §3.2, Fig. 3). It intercepts the gossip layer's
+// transmissions and, per the Transmission Strategy's Eager? decision,
+// either sends the full payload immediately (eager push) or advertises the
+// message with IHAVE and serves IWANT retransmission requests from a
+// payload cache (lazy push).
+//
+// The paper's blocking ScheduleNext() task is realised with per-message
+// timers: when an IHAVE for an unknown message arrives, the first request
+// is scheduled after the strategy's first-request delay (zero for Flat/TTL/
+// Ranked, T0 for Radius), and further requests are re-issued every
+// RequestPeriod (the paper's T, an estimate of maximum end-to-end latency,
+// 400 ms in the evaluation) to a source chosen by the strategy, rotating
+// through known sources so every queued request is eventually scheduled.
+package lazy
+
+import (
+	"sync"
+	"time"
+
+	"emcast/internal/ids"
+	"emcast/internal/msg"
+	"emcast/internal/peer"
+	"emcast/internal/strategy"
+	"emcast/internal/trace"
+)
+
+// Config tunes the module.
+type Config struct {
+	// RequestPeriod is the paper's T: the retransmission request period
+	// (evaluation value: 400 ms).
+	RequestPeriod time.Duration
+	// MaxRequests bounds how many IWANTs are issued per message before
+	// giving up (a node that never answers and no other source appears).
+	// Zero means 16.
+	MaxRequests int
+	// CacheCapacity bounds the payload cache C. Zero means 4096 entries.
+	CacheCapacity int
+	// ReceivedCapacity bounds the received-set R. Zero means 65536.
+	ReceivedCapacity int
+}
+
+func (c *Config) fill() {
+	if c.RequestPeriod <= 0 {
+		c.RequestPeriod = 400 * time.Millisecond
+	}
+	if c.MaxRequests <= 0 {
+		c.MaxRequests = 16
+	}
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = 4096
+	}
+	if c.ReceivedCapacity <= 0 {
+		c.ReceivedCapacity = 65536
+	}
+}
+
+// Receiver is the upcall interface to the gossip layer: the paper's
+// L-Receive(i, d, r, s).
+type Receiver interface {
+	LReceive(id ids.ID, payload []byte, round int, from peer.ID)
+}
+
+// Module is the per-node lazy point-to-point state. It is not safe for
+// concurrent use; the owning node serialises access.
+type Module struct {
+	cfg      Config
+	env      *peer.Env
+	strat    strategy.Strategy
+	receiver Receiver
+	tracer   trace.Tracer
+
+	received *ids.Set // R: messages whose payload has been received
+	cache    *payloadCache
+	pending  map[ids.ID]*pendingRequest
+
+	// locker guards re-entry from timer callbacks. The owning node sets
+	// it to its own lock so request timers and inbound frames are
+	// serialised; the default is a no-op for single-threaded use.
+	locker sync.Locker
+}
+
+type nopLocker struct{}
+
+func (nopLocker) Lock()   {}
+func (nopLocker) Unlock() {}
+
+type cached struct {
+	payload []byte
+	round   int
+}
+
+type pendingRequest struct {
+	sources []peer.ID // known sources not yet asked in this rotation
+	asked   []peer.ID // sources already asked (kept for rotation)
+	timer   peer.Timer
+	tries   int
+}
+
+// New creates the module. The receiver upcall must be set with SetReceiver
+// before frames flow.
+func New(cfg Config, env *peer.Env, strat strategy.Strategy, tracer trace.Tracer) *Module {
+	cfg.fill()
+	if tracer == nil {
+		tracer = trace.Nop{}
+	}
+	return &Module{
+		cfg:      cfg,
+		env:      env,
+		strat:    strat,
+		tracer:   tracer,
+		received: ids.NewSet(cfg.ReceivedCapacity),
+		cache:    newPayloadCache(cfg.CacheCapacity),
+		pending:  make(map[ids.ID]*pendingRequest),
+		locker:   nopLocker{},
+	}
+}
+
+// SetReceiver installs the gossip-layer upcall.
+func (m *Module) SetReceiver(r Receiver) { m.receiver = r }
+
+// SetLocker installs the lock acquired by request-timer callbacks. The
+// owning node passes its own mutex so timers never race with frame
+// handling.
+func (m *Module) SetLocker(l sync.Locker) { m.locker = l }
+
+// Strategy returns the module's transmission strategy.
+func (m *Module) Strategy() strategy.Strategy { return m.strat }
+
+// LSend implements the paper's L-Send(i, d, r, p): consult the strategy and
+// either push the payload eagerly or advertise it lazily.
+func (m *Module) LSend(id ids.ID, payload []byte, round int, to peer.ID) {
+	if m.strat.Eager(id, round, to) {
+		m.sendPayload(id, payload, round, to, true)
+		return
+	}
+	m.cache.put(id, cached{payload: payload, round: round})
+	frame := (&msg.IHave{ID: id}).Encode(nil)
+	m.tracer.ControlSent(m.env.Self(), to, "IHAVE", len(frame))
+	m.env.Transport.Send(to, frame)
+}
+
+func (m *Module) sendPayload(id ids.ID, payload []byte, round int, to peer.ID, eager bool) {
+	frame := (&msg.Msg{ID: id, Round: uint16(round), Payload: payload}).Encode(nil)
+	m.tracer.PayloadSent(m.env.Self(), to, id, len(frame), eager)
+	m.env.Transport.Send(to, frame)
+}
+
+// OnIHave handles a message advertisement: unknown ids are queued for
+// retransmission requests (the paper's Queue(i, s)).
+func (m *Module) OnIHave(id ids.ID, from peer.ID) {
+	if m.received.Contains(id) {
+		return
+	}
+	req, ok := m.pending[id]
+	if !ok {
+		req = &pendingRequest{}
+		m.pending[id] = req
+		req.sources = append(req.sources, from)
+		delay := m.strat.FirstDelay(from)
+		req.timer = m.env.Timers.AfterFunc(delay, func() { m.lockedFire(id) })
+		return
+	}
+	req.sources = append(req.sources, from)
+}
+
+// lockedFire runs fireRequest under the owning node's lock.
+func (m *Module) lockedFire(id ids.ID) {
+	m.locker.Lock()
+	defer m.locker.Unlock()
+	m.fireRequest(id)
+}
+
+// fireRequest issues one IWANT for id and schedules the next attempt.
+func (m *Module) fireRequest(id ids.ID) {
+	req, ok := m.pending[id]
+	if !ok || m.received.Contains(id) {
+		delete(m.pending, id)
+		return
+	}
+	if req.tries >= m.cfg.MaxRequests {
+		delete(m.pending, id)
+		return
+	}
+	if len(req.sources) == 0 {
+		// Rotation exhausted: start over through already-asked
+		// sources, so requests keep flowing every T while sources are
+		// known (paper §4.1).
+		req.sources, req.asked = req.asked, nil
+	}
+	src := m.strat.PickSource(req.sources)
+	if src == peer.None {
+		delete(m.pending, id)
+		return
+	}
+	removeSource(req, src)
+	req.asked = append(req.asked, src)
+	req.tries++
+	frame := (&msg.IWant{ID: id}).Encode(nil)
+	m.tracer.ControlSent(m.env.Self(), src, "IWANT", len(frame))
+	m.env.Transport.Send(src, frame)
+	req.timer = m.env.Timers.AfterFunc(m.cfg.RequestPeriod, func() { m.lockedFire(id) })
+}
+
+func removeSource(req *pendingRequest, src peer.ID) {
+	for i, s := range req.sources {
+		if s == src {
+			req.sources = append(req.sources[:i], req.sources[i+1:]...)
+			return
+		}
+	}
+}
+
+// OnMsg handles a full payload transmission: first receipt clears pending
+// requests (the paper's Clear(i)) and is handed to the gossip layer;
+// duplicates are counted and dropped.
+func (m *Module) OnMsg(id ids.ID, payload []byte, round int, from peer.ID) {
+	if !m.received.Add(id) {
+		m.tracer.DuplicatePayload(m.env.Self(), id)
+		return
+	}
+	m.clear(id)
+	if m.receiver != nil {
+		m.receiver.LReceive(id, payload, round, from)
+	}
+}
+
+func (m *Module) clear(id ids.ID) {
+	if req, ok := m.pending[id]; ok {
+		if req.timer != nil {
+			req.timer.Stop()
+		}
+		delete(m.pending, id)
+	}
+}
+
+// OnIWant answers a retransmission request from the payload cache. A
+// request can only follow one of our advertisements, so a miss means the
+// entry was garbage collected; it is traced and dropped.
+func (m *Module) OnIWant(id ids.ID, from peer.ID) {
+	entry, ok := m.cache.get(id)
+	if !ok {
+		m.tracer.RequestMiss(m.env.Self(), id)
+		return
+	}
+	m.sendPayload(id, entry.payload, entry.round, from, false)
+}
+
+// Received reports whether the payload for id has been received.
+func (m *Module) Received(id ids.ID) bool { return m.received.Contains(id) }
+
+// PendingRequests returns the number of messages awaiting payload.
+func (m *Module) PendingRequests() int { return len(m.pending) }
+
+// payloadCache is the bounded map C of Fig. 3, with FIFO eviction.
+type payloadCache struct {
+	capacity int
+	entries  map[ids.ID]cached
+	order    []ids.ID
+	head     int
+}
+
+func newPayloadCache(capacity int) *payloadCache {
+	return &payloadCache{
+		capacity: capacity,
+		entries:  make(map[ids.ID]cached),
+	}
+}
+
+func (c *payloadCache) put(id ids.ID, e cached) {
+	if _, ok := c.entries[id]; ok {
+		return
+	}
+	c.entries[id] = e
+	c.order = append(c.order, id)
+	for len(c.entries) > c.capacity {
+		victim := c.order[c.head]
+		c.order[c.head] = ids.ID{}
+		c.head++
+		delete(c.entries, victim)
+	}
+	if c.head > len(c.order)/2 && c.head > 64 {
+		c.order = append(c.order[:0], c.order[c.head:]...)
+		c.head = 0
+	}
+}
+
+func (c *payloadCache) get(id ids.ID) (cached, bool) {
+	e, ok := c.entries[id]
+	return e, ok
+}
+
+// Len returns the number of cached payloads.
+func (c *payloadCache) Len() int { return len(c.entries) }

@@ -1,0 +1,202 @@
+// Package membership implements the peer sampling service the gossip layer
+// depends on (paper §3.1, reference [10]): each node maintains a small
+// random partial view of the overlay (NeEM-style, overlay fanout 15 in the
+// paper's configuration) refreshed by periodic shuffles with random
+// neighbours, and answers PeerSample(f) queries with uniform random samples
+// drawn from that view.
+//
+// The periodic shuffle keeps the overlay a random graph: a node picks a
+// random neighbour, sends it a random sample of its view (including itself),
+// and the two nodes merge each other's samples, evicting random entries when
+// full. Randomness of the overlay is the key to gossip's resilience, which
+// the paper's approach deliberately preserves.
+package membership
+
+import (
+	"math/rand"
+
+	"emcast/internal/peer"
+)
+
+// Config tunes the view maintenance protocol.
+type Config struct {
+	// ViewSize is the maximum partial view size (paper: overlay fanout
+	// 15).
+	ViewSize int
+	// ShuffleSize is how many entries are exchanged per shuffle.
+	ShuffleSize int
+}
+
+// DefaultConfig mirrors the paper's overlay configuration.
+func DefaultConfig() Config {
+	return Config{ViewSize: 15, ShuffleSize: 7}
+}
+
+// View is a node's partial view of the overlay. It is not safe for
+// concurrent use; the owning node must serialise access (core.Node holds a
+// per-node lock).
+type View struct {
+	cfg   Config
+	self  peer.ID
+	rng   *rand.Rand
+	peers []peer.ID
+	index map[peer.ID]int
+}
+
+// NewView creates an empty view for node self.
+func NewView(cfg Config, self peer.ID, rng *rand.Rand) *View {
+	if cfg.ViewSize <= 0 {
+		cfg.ViewSize = DefaultConfig().ViewSize
+	}
+	if cfg.ShuffleSize <= 0 {
+		cfg.ShuffleSize = cfg.ViewSize/2 + 1
+	}
+	return &View{
+		cfg:   cfg,
+		self:  self,
+		rng:   rng,
+		index: make(map[peer.ID]int),
+	}
+}
+
+// Seed initialises the view with the given peers (used at join, or by the
+// simulator to warm the overlay as the paper does before measuring).
+func (v *View) Seed(ps []peer.ID) {
+	for _, p := range ps {
+		v.Add(p)
+	}
+}
+
+// Add inserts p, evicting a random entry if the view is full. Self and
+// duplicates are ignored. It reports whether the view changed.
+func (v *View) Add(p peer.ID) bool {
+	if p == v.self || p == peer.None {
+		return false
+	}
+	if _, ok := v.index[p]; ok {
+		return false
+	}
+	if len(v.peers) >= v.cfg.ViewSize {
+		victim := v.rng.Intn(len(v.peers))
+		v.removeAt(victim)
+	}
+	v.index[p] = len(v.peers)
+	v.peers = append(v.peers, p)
+	return true
+}
+
+// Remove drops p from the view if present.
+func (v *View) Remove(p peer.ID) {
+	if i, ok := v.index[p]; ok {
+		v.removeAt(i)
+	}
+}
+
+func (v *View) removeAt(i int) {
+	last := len(v.peers) - 1
+	delete(v.index, v.peers[i])
+	v.peers[i] = v.peers[last]
+	v.index[v.peers[i]] = i
+	v.peers = v.peers[:last]
+}
+
+// Contains reports whether p is in the view.
+func (v *View) Contains(p peer.ID) bool {
+	_, ok := v.index[p]
+	return ok
+}
+
+// Len returns the current view size.
+func (v *View) Len() int { return len(v.peers) }
+
+// Peers returns a copy of the view.
+func (v *View) Peers() []peer.ID {
+	return append([]peer.ID(nil), v.peers...)
+}
+
+// Sample returns min(f, Len) distinct peers drawn uniformly at random. This
+// is the paper's PeerSample(f) primitive.
+func (v *View) Sample(f int) []peer.ID {
+	if f > len(v.peers) {
+		f = len(v.peers)
+	}
+	if f <= 0 {
+		return nil
+	}
+	out := make([]peer.ID, 0, f)
+	for _, i := range v.rng.Perm(len(v.peers))[:f] {
+		out = append(out, v.peers[i])
+	}
+	return out
+}
+
+// ShufflePartner picks a random neighbour to shuffle with, or None if the
+// view is empty.
+func (v *View) ShufflePartner() peer.ID {
+	if len(v.peers) == 0 {
+		return peer.None
+	}
+	return v.peers[v.rng.Intn(len(v.peers))]
+}
+
+// ShuffleSample builds the sample sent in a shuffle: a random subset of the
+// view plus the sender itself, so node addresses propagate through the
+// overlay.
+func (v *View) ShuffleSample() []peer.ID {
+	s := v.Sample(v.cfg.ShuffleSize - 1)
+	return append(s, v.self)
+}
+
+// Merge incorporates a received shuffle sample into the view.
+func (v *View) Merge(sample []peer.ID) {
+	for _, p := range sample {
+		v.Add(p)
+	}
+}
+
+// MergeExchange incorporates a received shuffle sample using Cyclon-style
+// exchange semantics: when the view is full, entries we sent to the peer
+// (which the peer now holds) are evicted first, so view slots are swapped
+// between the two nodes rather than destroyed. This keeps every node's
+// in-degree close to its out-degree, which is what keeps the overlay
+// connected under continuous shuffling.
+func (v *View) MergeExchange(received, sent []peer.ID) {
+	// Copy so eviction can consume entries in deterministic order.
+	pool := make([]peer.ID, 0, len(sent))
+	for _, p := range sent {
+		if p != v.self {
+			pool = append(pool, p)
+		}
+	}
+	for _, p := range received {
+		if p == v.self || p == peer.None || v.Contains(p) {
+			continue
+		}
+		if len(v.peers) >= v.cfg.ViewSize {
+			if !v.evictPreferring(&pool) {
+				continue // nothing evictable; keep current entries
+			}
+		}
+		v.index[p] = len(v.peers)
+		v.peers = append(v.peers, p)
+	}
+}
+
+// evictPreferring removes one view entry, consuming entries of pool (in
+// order) first; when the pool is exhausted a random entry is evicted. It
+// reports whether an entry was removed.
+func (v *View) evictPreferring(pool *[]peer.ID) bool {
+	for len(*pool) > 0 {
+		p := (*pool)[0]
+		*pool = (*pool)[1:]
+		if i, ok := v.index[p]; ok {
+			v.removeAt(i)
+			return true
+		}
+	}
+	if len(v.peers) == 0 {
+		return false
+	}
+	v.removeAt(v.rng.Intn(len(v.peers)))
+	return true
+}

@@ -1,0 +1,131 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"emcast/internal/peer"
+)
+
+func TestFuncAdapter(t *testing.T) {
+	m := Func(func(p peer.ID) float64 { return float64(p) * 2 })
+	if m.Metric(21) != 42 {
+		t.Fatal("Func adapter broken")
+	}
+}
+
+func TestEWMAUnknownIsInf(t *testing.T) {
+	e := NewEWMA(0.125)
+	if !math.IsInf(e.Metric(5), 1) {
+		t.Fatal("unknown peer must report +Inf")
+	}
+	if e.Known() != 0 {
+		t.Fatal("Known() != 0 on empty monitor")
+	}
+}
+
+func TestEWMAFirstObservation(t *testing.T) {
+	e := NewEWMA(0.125)
+	e.Observe(1, 40*time.Millisecond)
+	// One-way estimate is RTT/2 in milliseconds.
+	if got := e.Metric(1); got != 20 {
+		t.Fatalf("Metric = %v, want 20 (RTT/2 ms)", got)
+	}
+	if e.Known() != 1 {
+		t.Fatal("Known() != 1")
+	}
+}
+
+func TestEWMASmoothing(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Observe(1, 100*time.Millisecond)
+	e.Observe(1, 200*time.Millisecond)
+	// rtt = 100 + 0.5*(200-100) = 150ms; metric = 75.
+	if got := e.Metric(1); got != 75 {
+		t.Fatalf("Metric = %v, want 75", got)
+	}
+	// Observations of one peer must not leak to another.
+	if !math.IsInf(e.Metric(2), 1) {
+		t.Fatal("observation leaked between peers")
+	}
+}
+
+func TestEWMAConvergesToSteadyRTT(t *testing.T) {
+	e := NewEWMA(0.125)
+	e.Observe(1, time.Second) // outlier first measurement
+	for i := 0; i < 100; i++ {
+		e.Observe(1, 30*time.Millisecond)
+	}
+	if got := e.Metric(1); math.Abs(got-15) > 1 {
+		t.Fatalf("Metric = %v, want ~15 after convergence", got)
+	}
+}
+
+func TestEWMABadAlphaDefaults(t *testing.T) {
+	for _, alpha := range []float64{0, -1, 1.5} {
+		e := NewEWMA(alpha)
+		e.Observe(1, 10*time.Millisecond)
+		if math.IsInf(e.Metric(1), 1) {
+			t.Fatalf("alpha %v produced unusable monitor", alpha)
+		}
+	}
+}
+
+func TestRankOrdersByCentrality(t *testing.T) {
+	// 4 nodes on a line: 1 and 2 are central, 0 and 3 peripheral.
+	pos := []float64{0, 10, 20, 30}
+	metric := func(a, b peer.ID) float64 { return math.Abs(pos[a] - pos[b]) }
+	ranking := Rank(4, metric)
+	if len(ranking) != 4 {
+		t.Fatalf("ranking size = %d", len(ranking))
+	}
+	if ranking[0] != 1 && ranking[0] != 2 {
+		t.Fatalf("most central = %d, want 1 or 2", ranking[0])
+	}
+	if ranking[3] != 0 && ranking[3] != 3 {
+		t.Fatalf("least central = %d, want 0 or 3", ranking[3])
+	}
+}
+
+func TestRankDeterministicOnTies(t *testing.T) {
+	metric := func(a, b peer.ID) float64 { return 1 } // all tied
+	a := Rank(10, metric)
+	b := Rank(10, metric)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("tied ranking not deterministic")
+		}
+		if a[i] != peer.ID(i) {
+			t.Fatal("ties must break by id")
+		}
+	}
+}
+
+func TestBestSet(t *testing.T) {
+	ranking := []peer.ID{5, 3, 1, 0, 2, 4, 6, 7, 8, 9}
+	best := BestSet(ranking, 0.2)
+	if len(best) != 2 || !best[5] || !best[3] {
+		t.Fatalf("best set = %v", best)
+	}
+	if len(BestSet(ranking, 0)) != 0 {
+		t.Fatal("zero fraction must give empty set")
+	}
+	if len(BestSet(ranking, 1)) != 10 {
+		t.Fatal("full fraction must include everyone")
+	}
+	if len(BestSet(ranking, 5)) != 10 {
+		t.Fatal("overshooting fraction must clamp")
+	}
+	if len(BestSet(ranking, -1)) != 0 {
+		t.Fatal("negative fraction must clamp to empty")
+	}
+}
+
+func TestBestSetRounding(t *testing.T) {
+	ranking := []peer.ID{0, 1, 2}
+	// 0.5 of 3 rounds to 2.
+	if len(BestSet(ranking, 0.5)) != 2 {
+		t.Fatalf("BestSet(0.5 of 3) = %d entries", len(BestSet(ranking, 0.5)))
+	}
+}

@@ -1,0 +1,374 @@
+// Package msg defines the wire protocol shared by all transports: the
+// gossip payload and control frames of the paper's Fig. 3 (MSG, IHAVE,
+// IWANT), the membership shuffle frames of the NeEM-style peer sampling
+// service, and the ping frames used by the run-time latency monitor.
+//
+// Frames are encoded with a 1-byte kind tag followed by fixed-layout
+// big-endian fields. The codec is strict: Decode rejects truncated or
+// trailing bytes, so malformed frames are dropped at the transport boundary
+// rather than corrupting protocol state.
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"emcast/internal/ids"
+	"emcast/internal/peer"
+)
+
+// Kind tags a wire frame.
+type Kind byte
+
+// Wire frame kinds.
+const (
+	KindMsg Kind = iota + 1
+	KindIHave
+	KindIWant
+	KindShuffle
+	KindShuffleReply
+	KindJoin
+	KindJoinReply
+	KindPing
+	KindPong
+	KindScores
+)
+
+// String returns the frame kind mnemonic used in traces.
+func (k Kind) String() string {
+	switch k {
+	case KindMsg:
+		return "MSG"
+	case KindIHave:
+		return "IHAVE"
+	case KindIWant:
+		return "IWANT"
+	case KindShuffle:
+		return "SHUFFLE"
+	case KindShuffleReply:
+		return "SHUFFLEREPLY"
+	case KindJoin:
+		return "JOIN"
+	case KindJoinReply:
+		return "JOINREPLY"
+	case KindPing:
+		return "PING"
+	case KindPong:
+		return "PONG"
+	case KindScores:
+		return "SCORES"
+	default:
+		return fmt.Sprintf("Kind(%d)", byte(k))
+	}
+}
+
+// Errors returned by Decode.
+var (
+	ErrTruncated = errors.New("msg: truncated frame")
+	ErrTrailing  = errors.New("msg: trailing bytes")
+	ErrKind      = errors.New("msg: unknown frame kind")
+	ErrTooLarge  = errors.New("msg: length field exceeds limit")
+)
+
+// MaxPayload bounds decoded payload sizes, protecting against hostile or
+// corrupt length fields.
+const MaxPayload = 1 << 20
+
+// MaxViewEntries bounds decoded membership view sizes.
+const MaxViewEntries = 1 << 12
+
+// HeaderOverhead is the fixed protocol overhead of a payload-bearing MSG
+// frame in bytes (kind + id + round + payload length), mirroring the
+// paper's 24-byte NeEM header accounting (§5.3).
+const HeaderOverhead = 1 + ids.IDSize + 2 + 4
+
+// Frame is a decodable wire message.
+type Frame interface {
+	Kind() Kind
+	// Encode appends the wire form to dst and returns the result.
+	Encode(dst []byte) []byte
+}
+
+// Msg is a full payload transmission: MSG(i, d, r) in the paper's Fig. 3.
+type Msg struct {
+	ID      ids.ID
+	Round   uint16
+	Payload []byte
+}
+
+// Kind implements Frame.
+func (m *Msg) Kind() Kind { return KindMsg }
+
+// Encode implements Frame.
+func (m *Msg) Encode(dst []byte) []byte {
+	dst = append(dst, byte(KindMsg))
+	dst = append(dst, m.ID[:]...)
+	dst = binary.BigEndian.AppendUint16(dst, m.Round)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Payload)))
+	return append(dst, m.Payload...)
+}
+
+// IHave advertises a message id without its payload: IHAVE(i).
+type IHave struct {
+	ID ids.ID
+}
+
+// Kind implements Frame.
+func (m *IHave) Kind() Kind { return KindIHave }
+
+// Encode implements Frame.
+func (m *IHave) Encode(dst []byte) []byte {
+	dst = append(dst, byte(KindIHave))
+	return append(dst, m.ID[:]...)
+}
+
+// IWant requests retransmission of an advertised message: IWANT(i).
+type IWant struct {
+	ID ids.ID
+}
+
+// Kind implements Frame.
+func (m *IWant) Kind() Kind { return KindIWant }
+
+// Encode implements Frame.
+func (m *IWant) Encode(dst []byte) []byte {
+	dst = append(dst, byte(KindIWant))
+	return append(dst, m.ID[:]...)
+}
+
+// Shuffle carries a sample of the sender's partial view during periodic
+// overlay shuffling (peer sampling service).
+type Shuffle struct {
+	View []peer.ID
+}
+
+// Kind implements Frame.
+func (m *Shuffle) Kind() Kind { return KindShuffle }
+
+// Encode implements Frame.
+func (m *Shuffle) Encode(dst []byte) []byte {
+	return encodeView(dst, KindShuffle, m.View)
+}
+
+// ShuffleReply answers a Shuffle with the receiver's own sample.
+type ShuffleReply struct {
+	View []peer.ID
+}
+
+// Kind implements Frame.
+func (m *ShuffleReply) Kind() Kind { return KindShuffleReply }
+
+// Encode implements Frame.
+func (m *ShuffleReply) Encode(dst []byte) []byte {
+	return encodeView(dst, KindShuffleReply, m.View)
+}
+
+// Join announces a new node to a contact node.
+type Join struct{}
+
+// Kind implements Frame.
+func (m *Join) Kind() Kind { return KindJoin }
+
+// Encode implements Frame.
+func (m *Join) Encode(dst []byte) []byte { return append(dst, byte(KindJoin)) }
+
+// JoinReply seeds the joining node's view.
+type JoinReply struct {
+	View []peer.ID
+}
+
+// Kind implements Frame.
+func (m *JoinReply) Kind() Kind { return KindJoinReply }
+
+// Encode implements Frame.
+func (m *JoinReply) Encode(dst []byte) []byte {
+	return encodeView(dst, KindJoinReply, m.View)
+}
+
+// Ping probes round-trip time for the run-time latency monitor.
+type Ping struct {
+	Nonce uint64
+}
+
+// Kind implements Frame.
+func (m *Ping) Kind() Kind { return KindPing }
+
+// Encode implements Frame.
+func (m *Ping) Encode(dst []byte) []byte {
+	dst = append(dst, byte(KindPing))
+	return binary.BigEndian.AppendUint64(dst, m.Nonce)
+}
+
+// Score is one (node, centrality score) pair exchanged by the gossip-based
+// ranking protocol (paper §4.1, reference [11]).
+type Score struct {
+	Node  peer.ID
+	Value float64
+}
+
+// Scores carries a sample of the sender's known centrality scores. Like
+// shuffles, scores spread epidemically so every node converges on an
+// approximate global ranking.
+type Scores struct {
+	Scores []Score
+}
+
+// Kind implements Frame.
+func (m *Scores) Kind() Kind { return KindScores }
+
+// Encode implements Frame.
+func (m *Scores) Encode(dst []byte) []byte {
+	dst = append(dst, byte(KindScores))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Scores)))
+	for _, s := range m.Scores {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(s.Node))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(s.Value))
+	}
+	return dst
+}
+
+// Pong answers a Ping, echoing its nonce.
+type Pong struct {
+	Nonce uint64
+}
+
+// Kind implements Frame.
+func (m *Pong) Kind() Kind { return KindPong }
+
+// Encode implements Frame.
+func (m *Pong) Encode(dst []byte) []byte {
+	dst = append(dst, byte(KindPong))
+	return binary.BigEndian.AppendUint64(dst, m.Nonce)
+}
+
+func encodeView(dst []byte, k Kind, view []peer.ID) []byte {
+	dst = append(dst, byte(k))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(view)))
+	for _, p := range view {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(p))
+	}
+	return dst
+}
+
+// Decode parses a wire frame. It returns one of the concrete Frame types.
+func Decode(frame []byte) (Frame, error) {
+	if len(frame) == 0 {
+		return nil, ErrTruncated
+	}
+	kind, body := Kind(frame[0]), frame[1:]
+	switch kind {
+	case KindMsg:
+		if len(body) < ids.IDSize+2+4 {
+			return nil, ErrTruncated
+		}
+		var m Msg
+		copy(m.ID[:], body[:ids.IDSize])
+		body = body[ids.IDSize:]
+		m.Round = binary.BigEndian.Uint16(body)
+		n := binary.BigEndian.Uint32(body[2:])
+		if n > MaxPayload {
+			return nil, ErrTooLarge
+		}
+		body = body[6:]
+		if uint32(len(body)) < n {
+			return nil, ErrTruncated
+		}
+		if uint32(len(body)) > n {
+			return nil, ErrTrailing
+		}
+		m.Payload = append([]byte(nil), body...)
+		return &m, nil
+	case KindIHave, KindIWant:
+		if len(body) < ids.IDSize {
+			return nil, ErrTruncated
+		}
+		if len(body) > ids.IDSize {
+			return nil, ErrTrailing
+		}
+		var id ids.ID
+		copy(id[:], body)
+		if kind == KindIHave {
+			return &IHave{ID: id}, nil
+		}
+		return &IWant{ID: id}, nil
+	case KindShuffle, KindShuffleReply, KindJoinReply:
+		view, err := decodeView(body)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case KindShuffle:
+			return &Shuffle{View: view}, nil
+		case KindShuffleReply:
+			return &ShuffleReply{View: view}, nil
+		default:
+			return &JoinReply{View: view}, nil
+		}
+	case KindJoin:
+		if len(body) != 0 {
+			return nil, ErrTrailing
+		}
+		return &Join{}, nil
+	case KindPing, KindPong:
+		if len(body) < 8 {
+			return nil, ErrTruncated
+		}
+		if len(body) > 8 {
+			return nil, ErrTrailing
+		}
+		nonce := binary.BigEndian.Uint64(body)
+		if kind == KindPing {
+			return &Ping{Nonce: nonce}, nil
+		}
+		return &Pong{Nonce: nonce}, nil
+	case KindScores:
+		if len(body) < 2 {
+			return nil, ErrTruncated
+		}
+		n := int(binary.BigEndian.Uint16(body))
+		if n > MaxViewEntries {
+			return nil, ErrTooLarge
+		}
+		body = body[2:]
+		if len(body) < 12*n {
+			return nil, ErrTruncated
+		}
+		if len(body) > 12*n {
+			return nil, ErrTrailing
+		}
+		scores := make([]Score, n)
+		for i := 0; i < n; i++ {
+			scores[i] = Score{
+				Node:  peer.ID(binary.BigEndian.Uint32(body[12*i:])),
+				Value: math.Float64frombits(binary.BigEndian.Uint64(body[12*i+4:])),
+			}
+		}
+		return &Scores{Scores: scores}, nil
+	default:
+		return nil, ErrKind
+	}
+}
+
+func decodeView(body []byte) ([]peer.ID, error) {
+	if len(body) < 2 {
+		return nil, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(body))
+	if n > MaxViewEntries {
+		return nil, ErrTooLarge
+	}
+	body = body[2:]
+	if len(body) < 4*n {
+		return nil, ErrTruncated
+	}
+	if len(body) > 4*n {
+		return nil, ErrTrailing
+	}
+	view := make([]peer.ID, n)
+	for i := 0; i < n; i++ {
+		view[i] = peer.ID(binary.BigEndian.Uint32(body[4*i:]))
+	}
+	return view, nil
+}

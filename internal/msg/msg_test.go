@@ -1,0 +1,248 @@
+package msg
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"emcast/internal/ids"
+	"emcast/internal/peer"
+)
+
+func roundTrip(t *testing.T, f Frame) Frame {
+	t.Helper()
+	decoded, err := Decode(f.Encode(nil))
+	if err != nil {
+		t.Fatalf("decode %v: %v", f.Kind(), err)
+	}
+	if decoded.Kind() != f.Kind() {
+		t.Fatalf("kind changed: sent %v got %v", f.Kind(), decoded.Kind())
+	}
+	return decoded
+}
+
+func someID(b byte) ids.ID {
+	var id ids.ID
+	for i := range id {
+		id[i] = b + byte(i)
+	}
+	return id
+}
+
+func TestRoundTripMsg(t *testing.T) {
+	m := &Msg{ID: someID(1), Round: 513, Payload: []byte("payload bytes")}
+	got := roundTrip(t, m).(*Msg)
+	if got.ID != m.ID || got.Round != m.Round || !bytes.Equal(got.Payload, m.Payload) {
+		t.Fatalf("got %+v, want %+v", got, m)
+	}
+}
+
+func TestRoundTripMsgEmptyPayload(t *testing.T) {
+	m := &Msg{ID: someID(9), Round: 0, Payload: nil}
+	got := roundTrip(t, m).(*Msg)
+	if len(got.Payload) != 0 {
+		t.Fatalf("payload = %v, want empty", got.Payload)
+	}
+}
+
+func TestRoundTripControl(t *testing.T) {
+	ih := roundTrip(t, &IHave{ID: someID(2)}).(*IHave)
+	if ih.ID != someID(2) {
+		t.Fatal("IHave id mismatch")
+	}
+	iw := roundTrip(t, &IWant{ID: someID(3)}).(*IWant)
+	if iw.ID != someID(3) {
+		t.Fatal("IWant id mismatch")
+	}
+}
+
+func TestRoundTripViews(t *testing.T) {
+	view := []peer.ID{0, 1, 42, 1 << 30}
+	sh := roundTrip(t, &Shuffle{View: view}).(*Shuffle)
+	if !reflect.DeepEqual(sh.View, view) {
+		t.Fatalf("shuffle view = %v, want %v", sh.View, view)
+	}
+	sr := roundTrip(t, &ShuffleReply{View: view}).(*ShuffleReply)
+	if !reflect.DeepEqual(sr.View, view) {
+		t.Fatal("shuffle reply view mismatch")
+	}
+	jr := roundTrip(t, &JoinReply{View: view}).(*JoinReply)
+	if !reflect.DeepEqual(jr.View, view) {
+		t.Fatal("join reply view mismatch")
+	}
+	empty := roundTrip(t, &Shuffle{}).(*Shuffle)
+	if len(empty.View) != 0 {
+		t.Fatal("empty view mismatch")
+	}
+}
+
+func TestRoundTripJoinPing(t *testing.T) {
+	roundTrip(t, &Join{})
+	pi := roundTrip(t, &Ping{Nonce: 0xDEADBEEF12345678}).(*Ping)
+	if pi.Nonce != 0xDEADBEEF12345678 {
+		t.Fatal("ping nonce mismatch")
+	}
+	po := roundTrip(t, &Pong{Nonce: 7}).(*Pong)
+	if po.Nonce != 7 {
+		t.Fatal("pong nonce mismatch")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		frame []byte
+		want  error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"unknown kind", []byte{0xEE}, ErrKind},
+		{"zero kind", []byte{0x00}, ErrKind},
+		{"truncated msg", (&Msg{ID: someID(1)}).Encode(nil)[:10], ErrTruncated},
+		{"truncated ihave", (&IHave{ID: someID(1)}).Encode(nil)[:5], ErrTruncated},
+		{"trailing ihave", append((&IHave{ID: someID(1)}).Encode(nil), 0), ErrTrailing},
+		{"trailing join", []byte{byte(KindJoin), 1}, ErrTrailing},
+		{"truncated ping", []byte{byte(KindPing), 1, 2}, ErrTruncated},
+		{"trailing pong", append((&Pong{Nonce: 1}).Encode(nil), 9), ErrTrailing},
+		{"truncated view", []byte{byte(KindShuffle), 0}, ErrTruncated},
+		{"short view body", []byte{byte(KindShuffle), 0, 2, 0, 0}, ErrTruncated},
+		{"trailing view body", append((&Shuffle{View: []peer.ID{1}}).Encode(nil), 0), ErrTrailing},
+		{"truncated scores", []byte{byte(KindScores), 0}, ErrTruncated},
+		{"short scores body", []byte{byte(KindScores), 0, 1, 0, 0}, ErrTruncated},
+		{"trailing scores", append((&Scores{Scores: []Score{{Node: 1, Value: 2}}}).Encode(nil), 0), ErrTrailing},
+	}
+	for _, c := range cases {
+		if _, err := Decode(c.frame); err != c.want {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestDecodeRejectsOversizedLengths(t *testing.T) {
+	// A MSG frame whose length field claims more than MaxPayload.
+	m := &Msg{ID: someID(1), Payload: []byte{1}}
+	frame := m.Encode(nil)
+	// Length field is at offset 1+16+2.
+	off := 1 + ids.IDSize + 2
+	frame[off] = 0xFF
+	frame[off+1] = 0xFF
+	frame[off+2] = 0xFF
+	frame[off+3] = 0xFF
+	if _, err := Decode(frame); err != ErrTooLarge {
+		t.Fatalf("oversized payload err = %v, want ErrTooLarge", err)
+	}
+	// A view frame whose count exceeds MaxViewEntries.
+	sh := (&Shuffle{View: []peer.ID{1}}).Encode(nil)
+	sh[1] = 0xFF
+	sh[2] = 0xFF
+	if _, err := Decode(sh); err != ErrTooLarge {
+		t.Fatalf("oversized view err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestMsgTrailingBytesRejected(t *testing.T) {
+	m := &Msg{ID: someID(4), Round: 1, Payload: []byte("xy")}
+	if _, err := Decode(append(m.Encode(nil), 0xAA)); err != ErrTrailing {
+		t.Fatalf("err = %v, want ErrTrailing", err)
+	}
+}
+
+func TestHeaderOverhead(t *testing.T) {
+	m := &Msg{ID: someID(1), Round: 3, Payload: make([]byte, 256)}
+	if got := len(m.Encode(nil)); got != 256+HeaderOverhead {
+		t.Fatalf("encoded size = %d, want %d", got, 256+HeaderOverhead)
+	}
+}
+
+func TestEncodeAppends(t *testing.T) {
+	prefix := []byte{1, 2, 3}
+	out := (&IHave{ID: someID(5)}).Encode(prefix)
+	if !bytes.Equal(out[:3], prefix) {
+		t.Fatal("Encode did not append to dst")
+	}
+	if _, err := Decode(out[3:]); err != nil {
+		t.Fatalf("decode after prefix: %v", err)
+	}
+}
+
+// TestQuickMsgRoundTrip property-checks the MSG codec over random inputs.
+func TestQuickMsgRoundTrip(t *testing.T) {
+	f := func(rawID [16]byte, round uint16, payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		m := &Msg{ID: ids.ID(rawID), Round: round, Payload: payload}
+		got, err := Decode(m.Encode(nil))
+		if err != nil {
+			return false
+		}
+		gm, ok := got.(*Msg)
+		return ok && gm.ID == m.ID && gm.Round == m.Round && bytes.Equal(gm.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickViewRoundTrip property-checks the view codec.
+func TestQuickViewRoundTrip(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) > MaxViewEntries {
+			raw = raw[:MaxViewEntries]
+		}
+		view := make([]peer.ID, len(raw))
+		for i, r := range raw {
+			view[i] = peer.ID(r)
+		}
+		got, err := Decode((&Shuffle{View: view}).Encode(nil))
+		if err != nil {
+			return false
+		}
+		gs, ok := got.(*Shuffle)
+		if !ok || len(gs.View) != len(view) {
+			return false
+		}
+		for i := range view {
+			if gs.View[i] != view[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDecodeNeverPanics feeds random bytes to the decoder: it must
+// reject or accept but never panic, since frames arrive from the network.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(frame []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		Decode(frame) //nolint:errcheck // only panics matter here
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{KindMsg, KindIHave, KindIWant, KindShuffle,
+		KindShuffleReply, KindJoin, KindJoinReply, KindPing, KindPong, KindScores}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d has bad or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Fatalf("unknown kind string = %q", Kind(200).String())
+	}
+}

@@ -1,0 +1,332 @@
+// Package neem provides a real-network transport for the protocol stack,
+// modelled on the NeEM 0.5 implementation the paper modified (§5.2): nodes
+// are connected by TCP links; when a connection blocks, frames are buffered
+// in user space in a bounded queue with a purging strategy (oldest frames
+// dropped first), yielding a "virtual connection-less layer that provides
+// improved guarantees for gossiping".
+//
+// Frames are length-prefixed; each connection begins with a 4-byte
+// handshake carrying the dialer's node identifier. The transport implements
+// peer.Transport, so the exact protocol code that runs in the simulator
+// runs over real sockets.
+package neem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"emcast/internal/peer"
+)
+
+// MaxFrame bounds accepted frame sizes.
+const MaxFrame = 1 << 20
+
+// sendQueueSize is the per-peer user-space buffer; when full, the oldest
+// frame is purged (NeEM's custom purging strategy).
+const sendQueueSize = 1024
+
+// Handler receives inbound frames.
+type Handler func(from peer.ID, frame []byte)
+
+// Config configures a Transport.
+type Config struct {
+	// Self is this node's identifier.
+	Self peer.ID
+	// ListenAddr is the TCP address to accept connections on.
+	ListenAddr string
+	// Peers maps every remote node identifier to its address. (A
+	// static address book; discovery is out of scope, as in the
+	// paper's testbed where membership is bootstrapped explicitly.)
+	Peers map[peer.ID]string
+	// DialTimeout bounds connection establishment. Zero means 3 s.
+	DialTimeout time.Duration
+}
+
+// Transport is a TCP-backed peer.Transport.
+type Transport struct {
+	cfg      Config
+	listener net.Listener
+	handler  Handler
+
+	mu       sync.Mutex
+	conns    map[peer.ID]*conn
+	accepted map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+type conn struct {
+	to      peer.ID
+	queue   chan []byte
+	dropped int
+	c       net.Conn
+	mu      sync.Mutex
+}
+
+// Listen starts a transport: it binds the listen address and serves inbound
+// connections. The handler may be nil initially and set with SetHandler
+// before traffic flows.
+func Listen(cfg Config, handler Handler) (*Transport, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 3 * time.Second
+	}
+	l, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("neem: listen %s: %w", cfg.ListenAddr, err)
+	}
+	t := &Transport{
+		cfg:      cfg,
+		listener: l,
+		handler:  handler,
+		conns:    make(map[peer.ID]*conn),
+		accepted: make(map[net.Conn]struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// SetHandler installs the inbound frame handler.
+func (t *Transport) SetHandler(h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+}
+
+// Addr returns the bound listen address.
+func (t *Transport) Addr() net.Addr { return t.listener.Addr() }
+
+// Local implements peer.Transport.
+func (t *Transport) Local() peer.ID { return t.cfg.Self }
+
+// Send implements peer.Transport: the frame is queued for asynchronous
+// transmission; when the queue is full the oldest frame is purged, and
+// frames to unknown or unreachable peers are dropped silently — the
+// protocol's lazy layer recovers via retransmission requests.
+func (t *Transport) Send(to peer.ID, frame []byte) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	c, ok := t.conns[to]
+	if !ok {
+		addr, known := t.cfg.Peers[to]
+		if !known {
+			t.mu.Unlock()
+			return
+		}
+		c = &conn{to: to, queue: make(chan []byte, sendQueueSize)}
+		t.conns[to] = c
+		t.wg.Add(1)
+		go t.writeLoop(c, addr)
+	}
+	t.mu.Unlock()
+
+	cp := append([]byte(nil), frame...)
+	for {
+		select {
+		case c.queue <- cp:
+			return
+		default:
+			// Queue full: purge the oldest frame and retry.
+			select {
+			case <-c.queue:
+				c.mu.Lock()
+				c.dropped++
+				c.mu.Unlock()
+			default:
+			}
+		}
+	}
+}
+
+// Dropped returns the number of frames purged from send queues.
+func (t *Transport) Dropped() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := 0
+	for _, c := range t.conns {
+		c.mu.Lock()
+		total += c.dropped
+		c.mu.Unlock()
+	}
+	return total
+}
+
+// Close shuts the transport down and waits for its goroutines.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]*conn, 0, len(t.conns))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	inbound := make([]net.Conn, 0, len(t.accepted))
+	for nc := range t.accepted {
+		inbound = append(inbound, nc)
+	}
+	t.mu.Unlock()
+
+	err := t.listener.Close()
+	for _, c := range conns {
+		close(c.queue)
+	}
+	for _, nc := range inbound {
+		nc.Close()
+	}
+	t.wg.Wait()
+	return err
+}
+
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		nc, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			nc.Close()
+			return
+		}
+		t.accepted[nc] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(nc)
+	}
+}
+
+func (t *Transport) readLoop(nc net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		nc.Close()
+		t.mu.Lock()
+		delete(t.accepted, nc)
+		t.mu.Unlock()
+	}()
+	var hdr [4]byte
+	if _, err := io.ReadFull(nc, hdr[:]); err != nil {
+		return
+	}
+	from := peer.ID(binary.BigEndian.Uint32(hdr[:]))
+	for {
+		frame, err := readFrame(nc)
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		if h != nil {
+			h(from, frame)
+		}
+	}
+}
+
+func (t *Transport) writeLoop(c *conn, addr string) {
+	defer t.wg.Done()
+	nc, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
+	if err != nil {
+		// Drain until closed; the peer is unreachable.
+		for range c.queue {
+		}
+		t.forget(c.to)
+		return
+	}
+	defer nc.Close()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(t.cfg.Self))
+	if _, err := nc.Write(hdr[:]); err != nil {
+		for range c.queue {
+		}
+		t.forget(c.to)
+		return
+	}
+	for frame := range c.queue {
+		if err := writeFrame(nc, frame); err != nil {
+			for range c.queue {
+			}
+			t.forget(c.to)
+			return
+		}
+	}
+}
+
+// forget drops the connection entry so a later Send re-dials.
+func (t *Transport) forget(to peer.ID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.closed {
+		delete(t.conns, to)
+	}
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > MaxFrame {
+		return nil, errors.New("neem: frame too large")
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+func writeFrame(w io.Writer, frame []byte) error {
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(frame)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(frame)
+	return err
+}
+
+// Clock is a wall clock relative to process start, implementing peer.Clock.
+type Clock struct {
+	start time.Time
+}
+
+// NewClock returns a clock anchored at now.
+func NewClock() *Clock { return &Clock{start: time.Now()} }
+
+// Now implements peer.Clock.
+func (c *Clock) Now() time.Duration { return time.Since(c.start) }
+
+// Timers implements peer.Timers over the Go runtime timers.
+type Timers struct{}
+
+// AfterFunc implements peer.Timers.
+func (Timers) AfterFunc(d time.Duration, fn func()) peer.Timer {
+	return realTimer{t: time.AfterFunc(d, fn)}
+}
+
+type realTimer struct {
+	t *time.Timer
+}
+
+// Stop implements peer.Timer.
+func (r realTimer) Stop() bool { return r.t.Stop() }
+
+var (
+	_ peer.Transport = (*Transport)(nil)
+	_ peer.Clock     = (*Clock)(nil)
+	_ peer.Timers    = Timers{}
+)

@@ -1,0 +1,268 @@
+package neem
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"emcast/internal/peer"
+)
+
+// pair starts two connected transports on loopback.
+func pair(t *testing.T) (*Transport, *Transport, *inbox, *inbox) {
+	t.Helper()
+	inA, inB := newInbox(), newInbox()
+	a, err := Listen(Config{Self: 1, ListenAddr: "127.0.0.1:0"}, inA.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := Listen(Config{Self: 2, ListenAddr: "127.0.0.1:0"}, inB.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	a.cfg.Peers = map[peer.ID]string{2: b.Addr().String()}
+	b.cfg.Peers = map[peer.ID]string{1: a.Addr().String()}
+	return a, b, inA, inB
+}
+
+type inbox struct {
+	mu     sync.Mutex
+	frames []struct {
+		from peer.ID
+		data []byte
+	}
+}
+
+func newInbox() *inbox { return &inbox{} }
+
+func (i *inbox) handle(from peer.ID, frame []byte) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.frames = append(i.frames, struct {
+		from peer.ID
+		data []byte
+	}{from, append([]byte(nil), frame...)})
+}
+
+func (i *inbox) wait(t *testing.T, n int) []struct {
+	from peer.ID
+	data []byte
+} {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		i.mu.Lock()
+		if len(i.frames) >= n {
+			out := append(i.frames[:0:0], i.frames...)
+			i.mu.Unlock()
+			return out
+		}
+		i.mu.Unlock()
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d frames", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSendAndReceive(t *testing.T) {
+	a, _, _, inB := pair(t)
+	a.Send(2, []byte("hello"))
+	frames := inB.wait(t, 1)
+	if frames[0].from != 1 || string(frames[0].data) != "hello" {
+		t.Fatalf("got %+v", frames[0])
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	a, b, inA, inB := pair(t)
+	a.Send(2, []byte("ping"))
+	inB.wait(t, 1)
+	b.Send(1, []byte("pong"))
+	frames := inA.wait(t, 1)
+	if string(frames[0].data) != "pong" {
+		t.Fatalf("got %q", frames[0].data)
+	}
+}
+
+func TestFramingPreservesBoundaries(t *testing.T) {
+	a, _, _, inB := pair(t)
+	var want [][]byte
+	for i := 0; i < 50; i++ {
+		f := bytes.Repeat([]byte{byte(i)}, i+1)
+		want = append(want, f)
+		a.Send(2, f)
+	}
+	frames := inB.wait(t, 50)
+	for i, f := range frames {
+		if !bytes.Equal(f.data, want[i]) {
+			t.Fatalf("frame %d = %v, want %v", i, f.data, want[i])
+		}
+	}
+}
+
+func TestSendToUnknownPeerDropped(t *testing.T) {
+	a, _, _, _ := pair(t)
+	a.Send(99, []byte("void")) // not in the address book: silently dropped
+	// The transport must remain healthy.
+	a.Send(2, []byte("ok"))
+}
+
+func TestSendAfterCloseIsNoop(t *testing.T) {
+	a, _, _, _ := pair(t)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a.Send(2, []byte("late"))
+	if err := a.Close(); err != nil {
+		t.Fatal("second Close must be a no-op, got", err)
+	}
+}
+
+func TestUnreachablePeerDoesNotBlock(t *testing.T) {
+	in := newInbox()
+	a, err := Listen(Config{
+		Self:        1,
+		ListenAddr:  "127.0.0.1:0",
+		Peers:       map[peer.ID]string{2: "127.0.0.1:1"}, // nothing listens there
+		DialTimeout: 200 * time.Millisecond,
+	}, in.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			a.Send(2, []byte("x"))
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("sends to unreachable peer blocked")
+	}
+}
+
+func TestQueuePurgesOldest(t *testing.T) {
+	// Fill the queue of a never-connecting peer beyond capacity: Send
+	// must never block and must purge the oldest frames.
+	in := newInbox()
+	a, err := Listen(Config{
+		Self:        1,
+		ListenAddr:  "127.0.0.1:0",
+		Peers:       map[peer.ID]string{2: "203.0.113.1:9"}, // TEST-NET: blackhole
+		DialTimeout: 24 * time.Hour,                         // keep the writer stuck in dial
+	}, in.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		// Close would wait for the dial; forget the peer instead.
+		a.mu.Lock()
+		for _, c := range a.conns {
+			close(c.queue)
+		}
+		a.conns = map[peer.ID]*conn{}
+		a.mu.Unlock()
+		a.listener.Close()
+	}()
+	for i := 0; i < sendQueueSize*3; i++ {
+		a.Send(2, []byte{byte(i)})
+	}
+	if got := a.Dropped(); got < sendQueueSize {
+		t.Fatalf("dropped = %d, want >= %d (purging policy)", got, sendQueueSize)
+	}
+}
+
+func TestRejectsOversizedInboundFrame(t *testing.T) {
+	in := newInbox()
+	a, err := Listen(Config{Self: 1, ListenAddr: "127.0.0.1:0"}, in.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	nc, err := net.Dial("tcp", a.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// Handshake as node 7, then claim a 100MB frame.
+	nc.Write([]byte{0, 0, 0, 7})
+	nc.Write([]byte{0x06, 0x40, 0x00, 0x00})
+	buf := make([]byte, 1)
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := nc.Read(buf); err == nil {
+		t.Fatal("connection survived an oversized frame")
+	}
+}
+
+func TestHandlerSwap(t *testing.T) {
+	a, b, _, _ := pair(t)
+	got := make(chan peer.ID, 1)
+	b.SetHandler(func(from peer.ID, frame []byte) {
+		select {
+		case got <- from:
+		default:
+		}
+	})
+	a.Send(2, []byte("x"))
+	select {
+	case from := <-got:
+		if from != 1 {
+			t.Fatalf("from = %d", from)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("swapped handler never called")
+	}
+}
+
+func TestManyPeers(t *testing.T) {
+	const n = 6
+	inboxes := make([]*inbox, n)
+	transports := make([]*Transport, n)
+	addrs := make(map[peer.ID]string, n)
+	for i := 0; i < n; i++ {
+		inboxes[i] = newInbox()
+		tr, err := Listen(Config{Self: peer.ID(i), ListenAddr: "127.0.0.1:0"}, inboxes[i].handle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		transports[i] = tr
+		addrs[peer.ID(i)] = tr.Addr().String()
+	}
+	for i, tr := range transports {
+		book := make(map[peer.ID]string)
+		for id, addr := range addrs {
+			if int(id) != i {
+				book[id] = addr
+			}
+		}
+		tr.cfg.Peers = book
+	}
+	// Everyone sends to everyone.
+	for i, tr := range transports {
+		for j := 0; j < n; j++ {
+			if j != i {
+				tr.Send(peer.ID(j), []byte(fmt.Sprintf("%d->%d", i, j)))
+			}
+		}
+	}
+	for i, in := range inboxes {
+		frames := in.wait(t, n-1)
+		senders := make(map[peer.ID]bool)
+		for _, f := range frames {
+			senders[f.from] = true
+		}
+		if len(senders) != n-1 {
+			t.Fatalf("node %d heard from %d senders, want %d", i, len(senders), n-1)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Package peer defines the primitives shared by every protocol layer: node
+// identifiers, the unreliable point-to-point transport abstraction (the
+// paper's L-Send/L-Receive substrate), virtual clocks and timers.
+//
+// Protocol layers (membership, gossip, lazy point-to-point) are written
+// against these interfaces only, so the exact same code runs over the
+// discrete-event network emulator (internal/emunet) and over a real TCP
+// transport (internal/neem).
+package peer
+
+import (
+	"math/rand"
+	"time"
+)
+
+// ID identifies a protocol node. IDs are assigned by the deployment
+// (simulator or real transport bootstrap) and are opaque to the protocol.
+type ID uint32
+
+// None is a sentinel identifier that never names a real node.
+const None ID = ^ID(0)
+
+// Transport sends frames to other nodes. Sends are unreliable and
+// asynchronous: delivery may fail silently (paper assumes an unreliable
+// point-to-point service). Implementations must be safe for concurrent use.
+type Transport interface {
+	// Send transmits a frame to the destination node. The frame must not
+	// be retained or modified by the caller after Send returns.
+	Send(to ID, frame []byte)
+	// Local returns the identifier of this node.
+	Local() ID
+}
+
+// Clock supplies the current time. Simulated deployments use a virtual
+// clock; real deployments use the wall clock relative to process start.
+type Clock interface {
+	Now() time.Duration
+}
+
+// Timer is a cancellable pending callback.
+type Timer interface {
+	// Stop cancels the timer. It reports whether the timer was pending
+	// (false when the callback already ran or was stopped before).
+	Stop() bool
+}
+
+// Timers schedules callbacks. In simulated deployments callbacks run in
+// virtual time on the simulator goroutine; in real deployments they run on
+// their own goroutine.
+type Timers interface {
+	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// Env bundles everything a protocol layer needs from its hosting
+// environment. RNG is used for all protocol randomness, so a deployment
+// seeding each node deterministically reproduces runs exactly.
+type Env struct {
+	Transport Transport
+	Clock     Clock
+	Timers    Timers
+	RNG       *rand.Rand
+}
+
+// Now is shorthand for Env.Clock.Now().
+func (e *Env) Now() time.Duration { return e.Clock.Now() }
+
+// Self is shorthand for Env.Transport.Local().
+func (e *Env) Self() ID { return e.Transport.Local() }

@@ -1,0 +1,42 @@
+package peer
+
+import (
+	"testing"
+	"time"
+)
+
+type fixedClock time.Duration
+
+func (c fixedClock) Now() time.Duration { return time.Duration(c) }
+
+type recordingTransport struct {
+	self ID
+	sent []ID
+}
+
+func (t *recordingTransport) Send(to ID, frame []byte) { t.sent = append(t.sent, to) }
+func (t *recordingTransport) Local() ID                { return t.self }
+
+func TestEnvShorthands(t *testing.T) {
+	tr := &recordingTransport{self: 7}
+	env := &Env{
+		Transport: tr,
+		Clock:     fixedClock(42 * time.Millisecond),
+	}
+	if env.Self() != 7 {
+		t.Fatalf("Self = %d, want 7", env.Self())
+	}
+	if env.Now() != 42*time.Millisecond {
+		t.Fatalf("Now = %v", env.Now())
+	}
+}
+
+func TestNoneIsNotARealID(t *testing.T) {
+	// None must be out of range of any plausible dense id assignment.
+	if None == 0 || None == 1 {
+		t.Fatal("None collides with small ids")
+	}
+	if uint32(None) != ^uint32(0) {
+		t.Fatalf("None = %d, want max uint32", None)
+	}
+}

@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLateJoinersCatchUp: nodes joining mid-run through the Join protocol
+// must integrate into the overlay and deliver the messages multicast after
+// they joined.
+func TestLateJoinersCatchUp(t *testing.T) {
+	cfg := testConfig(40, 60)
+	cfg.Strategy = StrategyTTL
+	cfg.TTLRounds = 2
+	cfg.LateJoiners = 8
+	cfg.Drain = 20 * time.Second
+	r := New(cfg)
+	res := r.Run()
+	if res.DeliveryRate < 0.99 {
+		t.Fatalf("original nodes delivery rate %.3f", res.DeliveryRate)
+	}
+	if res.JoinerCoverage < 0.95 {
+		t.Fatalf("joiner coverage %.3f, want >= 0.95", res.JoinerCoverage)
+	}
+	// Every joiner must have recorded a join time.
+	joined := 0
+	for i := cfg.Nodes; i < cfg.Nodes+cfg.LateJoiners; i++ {
+		if _, ok := r.JoinedAt(i); ok {
+			joined++
+		}
+	}
+	if joined != cfg.LateJoiners {
+		t.Fatalf("joined = %d, want %d", joined, cfg.LateJoiners)
+	}
+	if _, ok := r.JoinedAt(0); ok {
+		t.Fatal("original node reported a join time")
+	}
+}
+
+// TestNoChurnNeutralCoverage: runs without joiners report coverage 1.
+func TestNoChurnNeutralCoverage(t *testing.T) {
+	res := New(testConfig(20, 10)).Run()
+	if res.JoinerCoverage != 1 {
+		t.Fatalf("JoinerCoverage = %v without churn", res.JoinerCoverage)
+	}
+}

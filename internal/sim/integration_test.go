@@ -1,0 +1,293 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"emcast/internal/peer"
+)
+
+// TestRankedConcentratesOnHubs: best nodes must carry far more payload per
+// message than regular ones (paper §6.4: hubs ~10.8, regular ~1.2).
+func TestRankedConcentratesOnHubs(t *testing.T) {
+	cfg := testConfig(50, 60)
+	cfg.Strategy = StrategyRanked
+	res := New(cfg).Run()
+	if res.PayloadPerMsgBest < 3*res.PayloadPerMsgLow {
+		t.Fatalf("hubs %.2f vs low %.2f: no concentration", res.PayloadPerMsgBest, res.PayloadPerMsgLow)
+	}
+	if res.DeliveryRate < 0.99 {
+		t.Fatalf("delivery rate %.3f", res.DeliveryRate)
+	}
+}
+
+// TestRankedBeatsFlatTradeoff: at comparable traffic, Ranked must deliver
+// lower latency than Flat (the paper's §6.2 headline).
+func TestRankedBeatsFlatTradeoff(t *testing.T) {
+	ranked := testConfig(60, 60)
+	ranked.Strategy = StrategyRanked
+	rr := New(ranked).Run()
+
+	// A flat configuration producing comparable traffic.
+	flat := testConfig(60, 60)
+	flat.Strategy = StrategyFlat
+	flat.FlatP = rr.PayloadPerMsg / 11
+	rf := New(flat).Run()
+
+	if rf.PayloadPerMsg < rr.PayloadPerMsg*0.85 || rf.PayloadPerMsg > rr.PayloadPerMsg*1.15 {
+		t.Skipf("flat calibration off: flat %.2f vs ranked %.2f", rf.PayloadPerMsg, rr.PayloadPerMsg)
+	}
+	if rr.MeanLatency >= rf.MeanLatency {
+		t.Fatalf("ranked %v not faster than flat %v at similar traffic (%.2f vs %.2f payloads)",
+			rr.MeanLatency, rf.MeanLatency, rr.PayloadPerMsg, rf.PayloadPerMsg)
+	}
+}
+
+func TestFailBestSilencesBestNodes(t *testing.T) {
+	cfg := testConfig(40, 10)
+	cfg.Strategy = StrategyRanked
+	cfg.FailMode = FailBest
+	cfg.FailFraction = 0.2
+	r := New(cfg)
+	r.Run()
+	// Every failed node must be in the oracle best set.
+	failed := 0
+	for i := 0; i < cfg.Nodes; i++ {
+		if r.Failed(i) {
+			failed++
+			if !r.Best(peer.ID(i)) {
+				t.Fatalf("FailBest silenced non-best node %d", i)
+			}
+		}
+	}
+	if failed != 8 {
+		t.Fatalf("failed = %d, want 8 (20%% of 40)", failed)
+	}
+}
+
+func TestFailRandomCount(t *testing.T) {
+	cfg := testConfig(40, 10)
+	cfg.FailMode = FailRandom
+	cfg.FailFraction = 0.5
+	r := New(cfg)
+	res := r.Run()
+	failed := 0
+	for i := 0; i < cfg.Nodes; i++ {
+		if r.Failed(i) {
+			failed++
+		}
+	}
+	if failed != 20 {
+		t.Fatalf("failed = %d, want 20", failed)
+	}
+	// Failed nodes must not appear among deliverers.
+	if res.DeliveryRate < 0.95 {
+		t.Fatalf("live delivery rate %.3f under 50%% random failures", res.DeliveryRate)
+	}
+}
+
+// TestLossRecoveredByRetries: lazy push must survive frame loss through
+// periodic retransmission requests (the paper's reliability argument for
+// keeping redundant lazy advertisements).
+func TestLossRecoveredByRetries(t *testing.T) {
+	cfg := testConfig(40, 40)
+	cfg.Strategy = StrategyTTL
+	cfg.TTLRounds = 2
+	cfg.Loss = 0.05
+	cfg.Drain = 30 * time.Second
+	res := New(cfg).Run()
+	if res.DeliveryRate < 0.97 {
+		t.Fatalf("delivery rate %.3f with 5%% loss, want >= 0.97", res.DeliveryRate)
+	}
+}
+
+// TestGossipRankingStructure: the fully decentralized ranking pipeline
+// (EWMA monitors + gossip-based score spreading) must still produce an
+// emergent hub structure under the Ranked strategy, with only modest
+// degradation from the oracle ranking — the paper's §4.1/§6.5 claim that
+// approximate rankings suffice.
+func TestGossipRankingStructure(t *testing.T) {
+	oracle := testConfig(60, 60)
+	oracle.Strategy = StrategyRanked
+	ro := New(oracle).Run()
+
+	gossip := testConfig(60, 60)
+	gossip.Strategy = StrategyRanked
+	gossip.UseGossipRanking = true
+	rg := New(gossip).Run()
+
+	if rg.DeliveryRate < 0.99 {
+		t.Fatalf("gossip ranking broke delivery: %.3f", rg.DeliveryRate)
+	}
+	// Structure still emerges: clearly above the unstructured baseline
+	// (~10-14% for the scaled setup) even if below the oracle's.
+	if rg.Top5Share < 0.7*ro.Top5Share {
+		t.Fatalf("gossip ranking structure %.1f%% too far below oracle %.1f%%",
+			100*rg.Top5Share, 100*ro.Top5Share)
+	}
+	// The oracle-best nodes must still carry disproportionate payload:
+	// the approximate ranking found genuinely central nodes.
+	if rg.PayloadPerMsgBest < 1.3*rg.PayloadPerMsgLow {
+		t.Fatalf("approximate ranking lost hub concentration: best %.2f vs low %.2f",
+			rg.PayloadPerMsgBest, rg.PayloadPerMsgLow)
+	}
+}
+
+// TestEWMAMonitorViable: the run-time ping-driven monitor must support the
+// Radius strategy end to end (paper §4.2's deployable monitor).
+func TestEWMAMonitorViable(t *testing.T) {
+	cfg := testConfig(40, 40)
+	cfg.Strategy = StrategyRadius
+	cfg.UseEWMAMonitor = true
+	cfg.Drain = 30 * time.Second
+	res := New(cfg).Run()
+	if res.DeliveryRate < 0.99 {
+		t.Fatalf("delivery rate %.3f with EWMA monitor", res.DeliveryRate)
+	}
+	if res.PayloadPerMsg >= 11 {
+		t.Fatalf("EWMA radius degenerated to eager: %.2f payloads/msg", res.PayloadPerMsg)
+	}
+}
+
+func TestDistanceMetricMode(t *testing.T) {
+	cfg := testConfig(40, 30)
+	cfg.Strategy = StrategyRadius
+	cfg.DistanceMetric = true
+	res := New(cfg).Run()
+	if res.DeliveryRate < 0.99 {
+		t.Fatalf("delivery rate %.3f in distance-metric mode", res.DeliveryRate)
+	}
+	if res.Top5Share < 0.10 {
+		t.Fatalf("distance radius produced no structure: %.3f", res.Top5Share)
+	}
+}
+
+func TestNoisePreservesDelivery(t *testing.T) {
+	for _, noise := range []float64{0.5, 1.0} {
+		cfg := testConfig(40, 30)
+		cfg.Strategy = StrategyRanked
+		cfg.Noise = noise
+		res := New(cfg).Run()
+		if res.DeliveryRate < 0.99 {
+			t.Fatalf("noise %.1f broke delivery: %.3f", noise, res.DeliveryRate)
+		}
+	}
+}
+
+// TestNoisyHybridUsesRunningEstimate: Hybrid has no closed-form global
+// eager rate, so the noise wrapper must fall back to the per-node running
+// estimate and still deliver (covers the estimator path end to end).
+func TestNoisyHybridUsesRunningEstimate(t *testing.T) {
+	cfg := testConfig(40, 30)
+	cfg.Strategy = StrategyHybrid
+	cfg.Noise = 0.75
+	res := New(cfg).Run()
+	if res.DeliveryRate < 0.99 {
+		t.Fatalf("noisy hybrid delivery %.3f", res.DeliveryRate)
+	}
+	if res.PayloadPerMsg <= 1 || res.PayloadPerMsg >= 11 {
+		t.Fatalf("noisy hybrid payload/msg %.2f outside (1, 11)", res.PayloadPerMsg)
+	}
+}
+
+// TestLossWithFailures combines frame loss with node failures: the paper's
+// reliability argument must hold under both at once.
+func TestLossWithFailures(t *testing.T) {
+	cfg := testConfig(40, 40)
+	cfg.Strategy = StrategyRanked
+	cfg.Loss = 0.03
+	cfg.FailMode = FailBest
+	cfg.FailFraction = 0.2
+	cfg.Drain = 30 * time.Second
+	res := New(cfg).Run()
+	if res.DeliveryRate < 0.97 {
+		t.Fatalf("delivery %.3f with loss + best-node failures", res.DeliveryRate)
+	}
+}
+
+func TestLinkLoads(t *testing.T) {
+	cfg := testConfig(30, 20)
+	r := New(cfg)
+	r.Run()
+	loads := r.LinkLoads()
+	if len(loads) == 0 {
+		t.Fatal("no link loads recorded")
+	}
+	total := 0
+	for _, l := range loads {
+		if l.A >= l.B {
+			t.Fatalf("link %v not normalised", l)
+		}
+		if l.Payloads <= 0 || l.Bytes <= 0 {
+			t.Fatalf("empty link recorded: %+v", l)
+		}
+		total += l.Payloads
+	}
+	res := r.Result()
+	if total != res.EagerPayloads+res.LazyPayloads {
+		t.Fatalf("link payloads %d != total payloads %d", total, res.EagerPayloads+res.LazyPayloads)
+	}
+}
+
+func TestManualDrive(t *testing.T) {
+	cfg := testConfig(20, 1)
+	r := New(cfg)
+	r.Warmup()
+	id := r.MulticastFrom(3, []byte("manual"))
+	r.RunFor(10 * time.Second)
+	for i, n := range r.Nodes() {
+		if !n.Delivered(id) {
+			t.Fatalf("node %d missing manual multicast", i)
+		}
+	}
+	res := r.Result()
+	if res.MessagesSent != 1 || res.Deliveries != 20 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	cfg := testConfig(20, 5)
+	res := New(cfg).Run()
+	if s := res.String(); s == "" {
+		t.Fatal("empty result string")
+	}
+}
+
+func TestStrategyKindString(t *testing.T) {
+	kinds := []StrategyKind{StrategyFlat, StrategyTTL, StrategyRadius, StrategyRanked, StrategyHybrid}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		if s := k.String(); s == "" || seen[s] {
+			t.Fatalf("bad name for %d: %q", k, s)
+		} else {
+			seen[s] = true
+		}
+	}
+	if StrategyKind(99).String() == "" {
+		t.Fatal("unknown kind must still render")
+	}
+}
+
+// TestSymmetricGraphProperties checks the warm-overlay constructor.
+func TestSymmetricGraphProperties(t *testing.T) {
+	r := New(testConfig(30, 1))
+	_ = r
+	// Build directly for assertions.
+	rngCfg := testConfig(30, 1)
+	runner := New(rngCfg)
+	for i, n := range runner.Nodes() {
+		view := n.View()
+		if len(view) == 0 {
+			t.Fatalf("node %d has empty view", i)
+		}
+		if len(view) > 15 {
+			t.Fatalf("node %d view size %d > 15", i, len(view))
+		}
+		for _, p := range view {
+			if int(p) == i {
+				t.Fatalf("node %d has itself in view", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"emcast/internal/peer"
+	"emcast/internal/stats"
+	"emcast/internal/trace"
+)
+
+// Result carries the metrics the paper reports for one run.
+type Result struct {
+	Config Config
+
+	// MessagesSent is the number of multicasts performed.
+	MessagesSent int
+	// Deliveries is the total number of deliveries (all nodes).
+	Deliveries int
+
+	// MeanLatency is the average end-to-end delivery latency, excluding
+	// the origin's local delivery, with its 95% confidence half-width.
+	MeanLatency     time.Duration
+	LatencyInterval stats.Interval
+	// P50Latency / P95Latency are latency percentiles.
+	P50Latency time.Duration
+	P95Latency time.Duration
+
+	// PayloadPerMsg is the average number of payload transmissions per
+	// message delivered (paper Fig. 5(a) x-axis; 1 is optimal, fanout
+	// is the eager-push worst case).
+	PayloadPerMsg float64
+	// PayloadPerMsgLow is the same metric restricted to payloads sent
+	// by non-best nodes, per non-best node (paper's "ranked (low)" /
+	// "combined (low)" series).
+	PayloadPerMsgLow float64
+	// PayloadPerMsgBest is the contribution of best nodes (paper §6.4:
+	// 10.77 payload/message by the best 20%).
+	PayloadPerMsgBest float64
+
+	// DeliveryRate is the mean fraction of live nodes that delivered
+	// each message (paper Fig. 5(b) y-axis).
+	DeliveryRate float64
+	// AtomicRate is the fraction of messages delivered by every live
+	// node.
+	AtomicRate float64
+	// JoinerCoverage is the mean fraction of post-join messages each
+	// late joiner delivered (1 when the run has no churn).
+	JoinerCoverage float64
+
+	// Top5Share is the share of payload traffic carried by the top 5%
+	// most used connections (paper Fig. 4 and Fig. 6(c)).
+	Top5Share float64
+
+	// EagerPayloads / LazyPayloads split payload transmissions by
+	// scheduling mode; Duplicates counts redundant payload receptions;
+	// ControlFrames counts IHAVE/IWANT traffic.
+	EagerPayloads int
+	LazyPayloads  int
+	Duplicates    int
+	ControlFrames int
+	RequestMisses int
+
+	// FramesSent / FramesLost are transport-level counters (§5.4).
+	FramesSent uint64
+	FramesLost uint64
+
+	// Elapsed is the virtual duration of the run.
+	Elapsed time.Duration
+}
+
+// collect derives a Result from the trace collector.
+func (r *Runner) collect() Result {
+	snap := r.tracer.Snapshot()
+	res := Result{
+		Config:        r.cfg,
+		EagerPayloads: snap.EagerPayloads,
+		LazyPayloads:  snap.LazyPayloads,
+		Duplicates:    snap.Duplicates,
+		ControlFrames: snap.ControlFrames,
+		RequestMisses: snap.RequestMisses,
+		FramesSent:    r.net.FramesSent,
+		FramesLost:    r.net.FramesLost,
+		Elapsed:       r.elapsed,
+	}
+
+	// Late joiners are excluded from the delivery-rate denominator (they
+	// legitimately miss messages sent before they joined); their
+	// coverage is reported separately as JoinerCoverage.
+	live := 0
+	liveSet := make(map[peer.ID]bool, r.cfg.Nodes)
+	for i := 0; i < r.cfg.Nodes; i++ {
+		id := peer.ID(i)
+		if !r.failed[id] {
+			live++
+			liveSet[id] = true
+		}
+	}
+
+	var lat stats.Welford
+	var latencies []float64
+	var deliveryFracs []float64
+	atomic := 0
+	for _, m := range snap.Messages {
+		res.MessagesSent++
+		delivered := 0
+		for _, d := range m.Deliveries {
+			res.Deliveries++
+			if liveSet[d.Node] {
+				delivered++
+			}
+			if d.Node == m.Origin || m.SentAt < 0 {
+				continue
+			}
+			l := float64(d.At - m.SentAt)
+			lat.Add(l)
+			latencies = append(latencies, l)
+		}
+		if live > 0 {
+			frac := float64(delivered) / float64(live)
+			deliveryFracs = append(deliveryFracs, frac)
+			if delivered == live {
+				atomic++
+			}
+		}
+	}
+	res.MeanLatency = time.Duration(lat.Mean())
+	res.LatencyInterval = lat.Interval()
+	res.P50Latency = time.Duration(stats.Percentile(latencies, 50))
+	res.P95Latency = time.Duration(stats.Percentile(latencies, 95))
+	res.DeliveryRate = stats.Mean(deliveryFracs)
+	if res.MessagesSent > 0 {
+		res.AtomicRate = float64(atomic) / float64(res.MessagesSent)
+	}
+
+	if res.Deliveries > 0 {
+		res.PayloadPerMsg = float64(snap.TotalPayloads) / float64(res.Deliveries)
+	}
+	// Group contributions: payloads sent by group members, normalised
+	// per message and per group member.
+	lowCount, bestCount := 0, 0
+	lowPayloads, bestPayloads := 0, 0
+	for i := range r.nodes {
+		id := peer.ID(i)
+		if !liveSet[id] {
+			continue
+		}
+		if r.best[id] {
+			bestCount++
+			bestPayloads += snap.PayloadByNode[id]
+		} else {
+			lowCount++
+			lowPayloads += snap.PayloadByNode[id]
+		}
+	}
+	if res.MessagesSent > 0 {
+		if lowCount > 0 {
+			res.PayloadPerMsgLow = float64(lowPayloads) / float64(res.MessagesSent) / float64(lowCount)
+		}
+		if bestCount > 0 {
+			res.PayloadPerMsgBest = float64(bestPayloads) / float64(res.MessagesSent) / float64(bestCount)
+		}
+	}
+
+	loads := make([]float64, 0, len(snap.Links))
+	for _, l := range snap.Links {
+		loads = append(loads, float64(l.Payloads))
+	}
+	res.Top5Share = stats.TopShare(loads, 0.05)
+
+	res.JoinerCoverage = r.joinerCoverage(snap)
+	return res
+}
+
+// joinerCoverage computes the mean fraction of post-join messages each
+// late joiner delivered (1.0 when there are no joiners, so the metric is
+// neutral in churn-free runs). A short grace period after the join absorbs
+// the bootstrap round trip.
+func (r *Runner) joinerCoverage(snap trace.Snapshot) float64 {
+	if len(r.joinedAt) == 0 {
+		return 1
+	}
+	const grace = 2 * time.Second
+	var fracs []float64
+	for id, joined := range r.joinedAt {
+		eligible, got := 0, 0
+		for _, m := range snap.Messages {
+			if m.SentAt < joined+grace {
+				continue
+			}
+			eligible++
+			for _, d := range m.Deliveries {
+				if d.Node == id {
+					got++
+					break
+				}
+			}
+		}
+		if eligible > 0 {
+			fracs = append(fracs, float64(got)/float64(eligible))
+		}
+	}
+	if len(fracs) == 0 {
+		return 1
+	}
+	return stats.Mean(fracs)
+}
+
+// String summarises the result in one line.
+func (res Result) String() string {
+	return fmt.Sprintf(
+		"%s: latency=%v payload/msg=%.2f (low=%.2f best=%.2f) deliveries=%.1f%% top5=%.1f%% dup=%d",
+		res.Config.Strategy, res.MeanLatency.Round(time.Millisecond),
+		res.PayloadPerMsg, res.PayloadPerMsgLow, res.PayloadPerMsgBest,
+		100*res.DeliveryRate, 100*res.Top5Share, res.Duplicates,
+	)
+}
+
+// LinkLoads returns per-connection payload counts with endpoint
+// coordinates, for plotting the Fig. 4 emergent-structure graphs.
+func (r *Runner) LinkLoads() []LinkUsage {
+	snap := r.tracer.Snapshot()
+	out := make([]LinkUsage, 0, len(snap.Links))
+	for l, load := range snap.Links {
+		out = append(out, LinkUsage{
+			A: l.A, B: l.B,
+			AX: r.matrix.Coords[l.A][0], AY: r.matrix.Coords[l.A][1],
+			BX: r.matrix.Coords[l.B][0], BY: r.matrix.Coords[l.B][1],
+			Payloads: load.Payloads,
+			Bytes:    load.Bytes,
+		})
+	}
+	return out
+}
+
+// LinkUsage describes payload traffic over one connection, with plane
+// coordinates for plotting.
+type LinkUsage struct {
+	A, B   peer.ID
+	AX, AY float64
+	BX, BY float64
+
+	Payloads int
+	Bytes    int
+}

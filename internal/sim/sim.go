@@ -1,0 +1,596 @@
+// Package sim assembles whole-system experiments: an Inet-style topology,
+// the discrete-event network emulator, and one protocol node per client,
+// then drives the paper's workload (§5.3: 400 messages of 256 bytes,
+// multicast round-robin with a uniform random interval of 500 ms average)
+// and extracts the paper's metrics (latency, payload transmissions per
+// message, delivery rates, emergent-structure link shares).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"emcast/internal/core"
+	"emcast/internal/emunet"
+	"emcast/internal/gossip"
+	"emcast/internal/ids"
+	"emcast/internal/monitor"
+	"emcast/internal/peer"
+	"emcast/internal/ranking"
+	"emcast/internal/strategy"
+	"emcast/internal/topology"
+	"emcast/internal/trace"
+)
+
+// FailureMode selects which nodes are silenced in reliability experiments.
+type FailureMode int
+
+// Failure modes (paper §6.3).
+const (
+	// FailNone disables failure injection.
+	FailNone FailureMode = iota
+	// FailRandom silences nodes selected uniformly at random.
+	FailRandom
+	// FailBest silences the best-ranked nodes first — "precisely those
+	// that are contributing more to the dissemination effort".
+	FailBest
+)
+
+// StrategyKind selects the transmission strategy under test.
+type StrategyKind int
+
+// Strategies (paper §4.1, §6.4).
+const (
+	StrategyFlat StrategyKind = iota + 1
+	StrategyTTL
+	StrategyRadius
+	StrategyRanked
+	StrategyHybrid
+)
+
+// String returns the strategy mnemonic.
+func (k StrategyKind) String() string {
+	switch k {
+	case StrategyFlat:
+		return "flat"
+	case StrategyTTL:
+		return "ttl"
+	case StrategyRadius:
+		return "radius"
+	case StrategyRanked:
+		return "ranked"
+	case StrategyHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("StrategyKind(%d)", int(k))
+	}
+}
+
+// Config describes one simulated experiment run.
+type Config struct {
+	// Nodes is the number of protocol participants (paper: 100, plus
+	// 200 for low-bandwidth configurations).
+	Nodes int
+	// Seed drives all randomness: topology, emulator, node protocols.
+	Seed int64
+
+	// Strategy selects the transmission strategy; parameters below.
+	Strategy StrategyKind
+	// FlatP is Flat's eager probability.
+	FlatP float64
+	// TTLRounds is TTL's u.
+	TTLRounds int
+	// RadiusQuantile positions Radius' ρ at this quantile of the
+	// pairwise latency distribution (e.g. 0.1 ⇒ the closest 10% of
+	// pairs are within the radius).
+	RadiusQuantile float64
+	// BestFraction is the fraction of nodes designated best for Ranked
+	// and Hybrid (paper §6.4 uses 20%).
+	BestFraction float64
+	// DistanceMetric switches oracle monitors from latency to geographic
+	// distance (paper §6.1 uses the pseudo-geographic oracle for the
+	// emergent-structure plots).
+	DistanceMetric bool
+
+	// Noise is the §4.3 noise ratio o in [0, 1]; zero disables the
+	// wrapper.
+	Noise float64
+
+	// Messages, PayloadSize, MeanInterval describe the workload.
+	Messages     int
+	PayloadSize  int
+	MeanInterval time.Duration
+
+	// FailMode and FailFraction silence nodes after warm-up, before
+	// traffic (paper §6.3).
+	FailMode     FailureMode
+	FailFraction float64
+
+	// LateJoiners adds this many extra nodes that start outside the
+	// overlay and join through the Join protocol at staggered times
+	// during the traffic phase (churn). They receive but do not send.
+	LateJoiners int
+
+	// Loss is the network frame loss probability.
+	Loss float64
+
+	// Topology overrides the generated topology parameters; nil uses
+	// DefaultParams with Clients=Nodes. Tests use scaled-down router
+	// populations for speed.
+	Topology *topology.Params
+
+	// Core overrides protocol configuration; nil uses the paper's
+	// defaults.
+	Core *core.Config
+
+	// UseEWMAMonitor switches Radius/Ranked/Hybrid monitors from the
+	// model oracle to the run-time ping-driven EWMA monitor.
+	UseEWMAMonitor bool
+	// UseGossipRanking switches the Ranked/Hybrid best set from the
+	// model oracle to the fully decentralized pipeline: ping-driven EWMA
+	// monitors feed per-node centrality scores spread by the
+	// gossip-based ranking protocol (paper §4.1). Implies
+	// UseEWMAMonitor-style probing for score derivation while the
+	// Eager? metric still uses the oracle unless UseEWMAMonitor is also
+	// set.
+	UseGossipRanking bool
+	// Drain is how long to keep the simulation running after the last
+	// multicast so in-flight lazy requests settle. Zero means 10 s.
+	Drain time.Duration
+	// OnDeliver, when set, is invoked for every application-level
+	// delivery (library embedding; experiments leave it nil).
+	OnDeliver func(node peer.ID, id ids.ID, payload []byte)
+}
+
+// DefaultConfig is the paper's standard run: 100 nodes, 400 messages of
+// 256 bytes, 500 ms mean interval, fanout 11, overlay 15, T=400 ms.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:          100,
+		Seed:           1,
+		Strategy:       StrategyFlat,
+		FlatP:          1.0,
+		TTLRounds:      2,
+		RadiusQuantile: 0.10,
+		BestFraction:   0.20,
+		Messages:       400,
+		PayloadSize:    256,
+		MeanInterval:   500 * time.Millisecond,
+	}
+}
+
+func (c *Config) fill() {
+	if c.Nodes <= 0 {
+		c.Nodes = 100
+	}
+	if c.Messages <= 0 {
+		c.Messages = 400
+	}
+	if c.PayloadSize <= 0 {
+		c.PayloadSize = 256
+	}
+	if c.MeanInterval <= 0 {
+		c.MeanInterval = 500 * time.Millisecond
+	}
+	if c.BestFraction <= 0 {
+		c.BestFraction = 0.20
+	}
+	if c.Drain <= 0 {
+		c.Drain = 10 * time.Second
+	}
+}
+
+// Runner is an assembled simulation ready to execute.
+type Runner struct {
+	cfg      Config
+	topo     *topology.Network
+	matrix   *topology.Matrix
+	net      *emunet.Network
+	nodes    []*core.Node
+	tracer   *trace.Collector
+	best     map[peer.ID]bool
+	failed   map[peer.ID]bool
+	joinedAt map[peer.ID]time.Duration
+	rho      float64
+	t0       time.Duration
+	rng      *rand.Rand
+	elapsed  time.Duration
+}
+
+// New builds a runner from cfg: topology, emulator, nodes with warm views.
+func New(cfg Config) *Runner {
+	cfg.fill()
+	tp := topology.DefaultParams()
+	if cfg.Topology != nil {
+		tp = *cfg.Topology
+	}
+	total := cfg.Nodes + cfg.LateJoiners
+	tp.Clients = total
+	tp.Seed = cfg.Seed
+	topo := topology.Generate(tp)
+	matrix := topo.ClientMatrix()
+
+	net := emunet.New(total, func(from, to int) time.Duration {
+		return matrix.Latency[from][to]
+	}, emunet.Config{
+		Loss: cfg.Loss,
+		Seed: cfg.Seed ^ 0x5ca1ab1e,
+	})
+
+	r := &Runner{
+		cfg:      cfg,
+		topo:     topo,
+		matrix:   matrix,
+		net:      net,
+		tracer:   trace.NewCollector(),
+		failed:   make(map[peer.ID]bool),
+		joinedAt: make(map[peer.ID]time.Duration),
+		rng:      rand.New(rand.NewSource(cfg.Seed ^ 0x7aff1c)),
+	}
+	r.computeOracle()
+	r.buildNodes()
+	return r
+}
+
+// computeOracle derives ρ, T0 and the best set from global model knowledge,
+// as the paper's evaluation does (§4.3).
+func (r *Runner) computeOracle() {
+	cfg := r.cfg
+	// Pairwise metric distribution for the radius quantile.
+	var all []float64
+	for i := 0; i < cfg.Nodes; i++ {
+		for j := 0; j < cfg.Nodes; j++ {
+			if i != j {
+				all = append(all, r.pairMetric(peer.ID(i), peer.ID(j)))
+			}
+		}
+	}
+	q := cfg.RadiusQuantile
+	if q <= 0 {
+		q = 0.10
+	}
+	r.rho = percentile(all, q)
+	// T0: expected latency within the radius — approximate with the
+	// same quantile of the latency distribution (in time units).
+	var lats []float64
+	for i := 0; i < cfg.Nodes; i++ {
+		for j := 0; j < cfg.Nodes; j++ {
+			if i != j {
+				lats = append(lats, float64(r.matrix.Latency[i][j]))
+			}
+		}
+	}
+	r.t0 = time.Duration(percentile(lats, q))
+
+	ranking := monitor.Rank(cfg.Nodes, func(a, b peer.ID) float64 {
+		return r.pairMetric(a, b)
+	})
+	r.best = monitor.BestSet(ranking, cfg.BestFraction)
+}
+
+// pairMetric is the oracle metric between two clients: one-way latency in
+// milliseconds, or plane distance when DistanceMetric is set.
+func (r *Runner) pairMetric(a, b peer.ID) float64 {
+	if r.cfg.DistanceMetric {
+		return r.matrix.Distance(int(a), int(b))
+	}
+	return float64(r.matrix.Latency[a][b]) / float64(time.Millisecond)
+}
+
+func (r *Runner) buildNodes() {
+	cfg := r.cfg
+	coreCfg := core.DefaultConfig()
+	if cfg.Core != nil {
+		coreCfg = *cfg.Core
+	}
+	total := cfg.Nodes + cfg.LateJoiners
+	r.nodes = make([]*core.Node, total)
+	for i := 0; i < total; i++ {
+		id := peer.ID(i)
+		env := &peer.Env{
+			Transport: &simTransport{net: r.net, self: id},
+			Clock:     simClock{net: r.net},
+			Timers:    simTimers{net: r.net},
+			RNG:       rand.New(rand.NewSource(cfg.Seed ^ int64(i+1)*0x2545f491)),
+		}
+		nodeCfg := coreCfg
+		nodeCfg.Seed = cfg.Seed ^ int64(i)<<20
+		var ewma *monitor.EWMA
+		if cfg.UseEWMAMonitor || cfg.UseGossipRanking {
+			ewma = monitor.NewEWMA(0.125)
+			if nodeCfg.PingPeriod <= 0 {
+				nodeCfg.PingPeriod = 500 * time.Millisecond
+			}
+		}
+		var table *ranking.Table
+		if cfg.UseGossipRanking {
+			table = ranking.NewTable(ranking.Config{Fraction: cfg.BestFraction}, id)
+			if nodeCfg.RankGossipPeriod <= 0 {
+				nodeCfg.RankGossipPeriod = 500 * time.Millisecond
+			}
+		}
+		strat := r.buildStrategy(id, env, ewma, table)
+		var deliver gossip.DeliverFunc
+		if cfg.OnDeliver != nil {
+			onDeliver := cfg.OnDeliver
+			deliver = func(mid ids.ID, payload []byte) { onDeliver(id, mid, payload) }
+		}
+		node := core.NewNode(nodeCfg, env, core.Options{
+			Strategy: strat,
+			Deliver:  deliver,
+			Tracer:   r.tracer,
+			EWMA:     ewma,
+			Ranking:  table,
+		})
+		r.nodes[i] = node
+		r.net.Register(i, frameHandler{node: node})
+	}
+	// Warm the overlay: seed views from a random symmetric graph, as the
+	// paper measures only after nodes "join the overlay and warm up".
+	// NeEM connections are bidirectional TCP links, so the warm overlay
+	// is symmetric; Cyclon-style shuffles keep in-degrees balanced from
+	// there on.
+	deg := coreCfg.Membership.ViewSize
+	if deg <= 0 {
+		deg = 15
+	}
+	for i, neighbors := range symmetricGraph(cfg.Nodes, deg, r.rng) {
+		peers := make([]peer.ID, 0, len(neighbors))
+		for _, j := range neighbors {
+			peers = append(peers, peer.ID(j))
+		}
+		r.nodes[i].SeedView(peers)
+		r.nodes[i].Start()
+	}
+}
+
+// symmetricGraph builds a random undirected graph with degree close to
+// target (never above it): a Hamiltonian ring for guaranteed connectivity
+// plus random matching edges.
+func symmetricGraph(n, target int, rng *rand.Rand) [][]int {
+	adj := make([][]int, n)
+	edges := make(map[[2]int]bool)
+	addEdge := func(a, b int) bool {
+		if a == b {
+			return false
+		}
+		k := [2]int{a, b}
+		if a > b {
+			k = [2]int{b, a}
+		}
+		if edges[k] || len(adj[a]) >= target || len(adj[b]) >= target {
+			return false
+		}
+		edges[k] = true
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+		return true
+	}
+	perm := rng.Perm(n)
+	for i := range perm {
+		addEdge(perm[i], perm[(i+1)%n])
+	}
+	// Fill remaining degree with random edges; bounded retries keep this
+	// terminating even when the residual graph cannot be completed.
+	for tries := 0; tries < 20*n*target; tries++ {
+		addEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return adj
+}
+
+func (r *Runner) buildStrategy(self peer.ID, env *peer.Env, ewma *monitor.EWMA, table *ranking.Table) strategy.Strategy {
+	cfg := r.cfg
+	var mon monitor.Monitor
+	if cfg.UseEWMAMonitor && ewma != nil {
+		mon = ewma
+	} else {
+		mon = monitor.Func(func(p peer.ID) float64 { return r.pairMetric(self, p) })
+	}
+	isBest := func(p peer.ID) bool { return r.best[p] }
+	if table != nil {
+		isBest = table.IsBest
+	}
+	var base strategy.Strategy
+	switch cfg.Strategy {
+	case StrategyFlat:
+		base = &strategy.Flat{P: cfg.FlatP, RNG: env.RNG}
+	case StrategyTTL:
+		base = &strategy.TTL{U: cfg.TTLRounds}
+	case StrategyRadius:
+		base = &strategy.Radius{Rho: r.rho, Monitor: mon, T0: r.t0}
+	case StrategyRanked:
+		base = &strategy.Ranked{Self: self, IsBest: isBest}
+	case StrategyHybrid:
+		base = &strategy.Hybrid{
+			Self: self, IsBest: isBest,
+			Rho: r.rho, U: cfg.TTLRounds, Monitor: mon, T0: r.t0,
+		}
+	default:
+		panic(fmt.Sprintf("sim: unknown strategy %v", cfg.Strategy))
+	}
+	if cfg.Noise > 0 {
+		return &strategy.Noisy{Base: base, O: cfg.Noise, RNG: env.RNG, C: r.globalEagerRate()}
+	}
+	return base
+}
+
+// globalEagerRate returns the system-wide probability that Eager? is true
+// under the configured strategy — the paper's constant c (§4.3), "set such
+// that the overall probability of Eager? returning true is unchanged".
+// Strategies without a closed form return -1 and fall back to a per-node
+// running estimate.
+func (r *Runner) globalEagerRate() float64 {
+	cfg := r.cfg
+	switch cfg.Strategy {
+	case StrategyFlat:
+		return cfg.FlatP
+	case StrategyRadius:
+		// ρ sits at this quantile of the pairwise metric distribution,
+		// so that fraction of (sender, target) pairs is eager.
+		return cfg.RadiusQuantile
+	case StrategyRanked:
+		// Eager iff either endpoint is best.
+		beta := cfg.BestFraction
+		return 1 - (1-beta)*(1-beta)
+	default:
+		return -1
+	}
+}
+
+// Best reports whether a node is in the oracle best set.
+func (r *Runner) Best(p peer.ID) bool { return r.best[p] }
+
+// Rho returns the radius threshold derived from the oracle.
+func (r *Runner) Rho() float64 { return r.rho }
+
+// Matrix exposes the client latency matrix (for tests and monitors).
+func (r *Runner) Matrix() *topology.Matrix { return r.matrix }
+
+// Network exposes the underlying emulator (for failure tests).
+func (r *Runner) Network() *emunet.Network { return r.net }
+
+// Nodes exposes the protocol nodes.
+func (r *Runner) Nodes() []*core.Node { return r.nodes }
+
+// Warmup advances the simulation long enough for shuffles to randomise the
+// seeded views, mirroring the paper's warm-up phase. Runs using the
+// run-time monitor or the gossip ranking warm up longer, so pings populate
+// the EWMA estimators and score samples spread before measurements begin.
+func (r *Runner) Warmup() {
+	warm := 5 * time.Second
+	if r.cfg.UseEWMAMonitor || r.cfg.UseGossipRanking {
+		warm = 30 * time.Second
+	}
+	r.net.Run(r.net.Now() + warm)
+}
+
+// MulticastFrom multicasts payload from the given node immediately and
+// returns the message identifier. Use RunFor afterwards to let the
+// dissemination play out in virtual time.
+func (r *Runner) MulticastFrom(node int, payload []byte) ids.ID {
+	return r.nodes[node].Multicast(payload)
+}
+
+// RunFor advances virtual time by d.
+func (r *Runner) RunFor(d time.Duration) {
+	r.net.Run(r.net.Now() + d)
+	r.elapsed = r.net.Now()
+}
+
+// Result collects metrics for everything traced so far.
+func (r *Runner) Result() Result {
+	return r.collect()
+}
+
+// Fail silences a node, emulating its crash.
+func (r *Runner) Fail(node int) {
+	r.net.Silence(node)
+	r.failed[peer.ID(node)] = true
+}
+
+// Failed reports whether the node has been silenced.
+func (r *Runner) Failed(node int) bool {
+	return r.failed[peer.ID(node)]
+}
+
+// Run executes the full experiment and returns its metrics.
+func (r *Runner) Run() Result {
+	cfg := r.cfg
+
+	// Warm-up: let shuffles randomise the seeded views.
+	r.Warmup()
+
+	// Failure injection happens after warm-up, immediately before
+	// traffic starts (paper §6.3).
+	r.injectFailures()
+
+	// Churn: late joiners enter through the Join protocol at staggered
+	// times across the first half of the traffic phase.
+	r.scheduleJoins()
+
+	// Traffic: round-robin senders over live nodes, uniform random
+	// inter-message interval with the configured mean.
+	at := r.net.Now()
+	sender := 0
+	live := r.liveNodes()
+	for k := 0; k < cfg.Messages; k++ {
+		at += time.Duration(r.rng.Int63n(int64(2 * cfg.MeanInterval)))
+		node := live[sender%len(live)]
+		sender++
+		payload := make([]byte, cfg.PayloadSize)
+		r.rng.Read(payload)
+		n := r.nodes[node]
+		r.net.AfterFunc(at-r.net.Now(), func() { n.Multicast(payload) })
+	}
+	r.net.Run(at + cfg.Drain)
+	r.elapsed = r.net.Now()
+	return r.collect()
+}
+
+// liveNodes returns the original (non-joiner) nodes that have not failed;
+// these drive the traffic.
+func (r *Runner) liveNodes() []int {
+	var live []int
+	for i := 0; i < r.cfg.Nodes; i++ {
+		if !r.failed[peer.ID(i)] {
+			live = append(live, i)
+		}
+	}
+	return live
+}
+
+func (r *Runner) scheduleJoins() {
+	cfg := r.cfg
+	if cfg.LateJoiners <= 0 {
+		return
+	}
+	trafficSpan := time.Duration(cfg.Messages) * cfg.MeanInterval
+	live := r.liveNodes()
+	for j := 0; j < cfg.LateJoiners; j++ {
+		joiner := cfg.Nodes + j
+		delay := trafficSpan / 2 * time.Duration(j+1) / time.Duration(cfg.LateJoiners+1)
+		contact := peer.ID(live[r.rng.Intn(len(live))])
+		node := r.nodes[joiner]
+		id := peer.ID(joiner)
+		r.net.AfterFunc(delay, func() {
+			r.joinedAt[id] = r.net.Now()
+			node.Start()
+			node.Join(contact)
+		})
+	}
+}
+
+// JoinedAt returns the virtual time a late joiner entered the overlay, or
+// false for original nodes.
+func (r *Runner) JoinedAt(node int) (time.Duration, bool) {
+	at, ok := r.joinedAt[peer.ID(node)]
+	return at, ok
+}
+
+func (r *Runner) injectFailures() {
+	cfg := r.cfg
+	if cfg.FailMode == FailNone || cfg.FailFraction <= 0 {
+		return
+	}
+	k := int(cfg.FailFraction * float64(cfg.Nodes))
+	if k > cfg.Nodes {
+		k = cfg.Nodes
+	}
+	var victims []int
+	switch cfg.FailMode {
+	case FailRandom:
+		victims = r.rng.Perm(cfg.Nodes)[:k]
+	case FailBest:
+		ranking := monitor.Rank(cfg.Nodes, func(a, b peer.ID) float64 {
+			return r.pairMetric(a, b)
+		})
+		for _, id := range ranking[:k] {
+			victims = append(victims, int(id))
+		}
+	}
+	for _, v := range victims {
+		r.net.Silence(v)
+		r.failed[peer.ID(v)] = true
+	}
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"emcast/internal/topology"
+)
+
+// testConfig returns a fast, scaled-down configuration for unit tests.
+func testConfig(nodes, messages int) Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.Messages = messages
+	tp := topology.DefaultParams().Scaled(8)
+	cfg.Topology = &tp
+	return cfg
+}
+
+// TestEagerAtomicDelivery: with pure eager push and no loss, every message
+// must reach every node (paper §6.3 baseline: "when no node fails one
+// observes perfect atomic delivery of all messages").
+func TestEagerAtomicDelivery(t *testing.T) {
+	cfg := testConfig(50, 40)
+	cfg.Strategy = StrategyFlat
+	cfg.FlatP = 1.0
+	res := New(cfg).Run()
+	t.Logf("%v", res)
+	if res.AtomicRate != 1.0 {
+		t.Fatalf("atomic rate = %.3f, want 1.0", res.AtomicRate)
+	}
+	if res.DeliveryRate != 1.0 {
+		t.Fatalf("delivery rate = %.3f, want 1.0", res.DeliveryRate)
+	}
+	// Eager push transmits roughly fanout payloads per delivery.
+	if res.PayloadPerMsg < 5 || res.PayloadPerMsg > 12 {
+		t.Errorf("payload/msg = %.2f, want ~fanout (11)", res.PayloadPerMsg)
+	}
+	if res.LazyPayloads != 0 {
+		t.Errorf("pure eager run produced %d lazy payloads", res.LazyPayloads)
+	}
+}
+
+// TestLazySinglePayload: with pure lazy push, each node should receive
+// close to exactly one payload per message (paper §6.2: "the optimal 1").
+func TestLazySinglePayload(t *testing.T) {
+	cfg := testConfig(50, 40)
+	cfg.Strategy = StrategyFlat
+	cfg.FlatP = 0.0
+	cfg.Drain = 20 * time.Second
+	res := New(cfg).Run()
+	t.Logf("%v", res)
+	if res.DeliveryRate < 0.99 {
+		t.Fatalf("delivery rate = %.3f, want >= 0.99", res.DeliveryRate)
+	}
+	if res.PayloadPerMsg < 0.99 || res.PayloadPerMsg > 1.5 {
+		t.Errorf("payload/msg = %.2f, want ~1 (pure lazy)", res.PayloadPerMsg)
+	}
+	if res.EagerPayloads != 0 {
+		t.Errorf("pure lazy run produced %d eager payloads", res.EagerPayloads)
+	}
+}
+
+// TestLazySlowerThanEager: lazy push must pay latency for its bandwidth
+// savings (the paper's central trade-off, Fig. 5(a): 227 ms eager vs 480 ms
+// lazy).
+func TestLazySlowerThanEager(t *testing.T) {
+	eager := testConfig(50, 40)
+	eager.Strategy, eager.FlatP = StrategyFlat, 1.0
+	lazy := testConfig(50, 40)
+	lazy.Strategy, lazy.FlatP = StrategyFlat, 0.0
+	lazy.Drain = 20 * time.Second
+
+	re := New(eager).Run()
+	rl := New(lazy).Run()
+	t.Logf("eager=%v lazy=%v", re.MeanLatency, rl.MeanLatency)
+	if rl.MeanLatency <= re.MeanLatency {
+		t.Fatalf("lazy latency %v not above eager %v", rl.MeanLatency, re.MeanLatency)
+	}
+	if rl.PayloadPerMsg >= re.PayloadPerMsg {
+		t.Fatalf("lazy payload/msg %.2f not below eager %.2f", rl.PayloadPerMsg, re.PayloadPerMsg)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	for _, kind := range []StrategyKind{StrategyFlat, StrategyTTL, StrategyRadius, StrategyRanked, StrategyHybrid} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := testConfig(30, 20)
+			cfg.Strategy = kind
+			cfg.FlatP = 0.5
+			a := New(cfg).Run()
+			b := New(cfg).Run()
+			if a.MeanLatency != b.MeanLatency || a.PayloadPerMsg != b.PayloadPerMsg ||
+				a.Top5Share != b.Top5Share || a.Deliveries != b.Deliveries {
+				t.Fatalf("same seed diverged:\n%v\n%v", a, b)
+			}
+			cfg.Seed = 99
+			c := New(cfg).Run()
+			if a.MeanLatency == c.MeanLatency && a.Top5Share == c.Top5Share {
+				t.Fatal("different seeds produced identical results")
+			}
+		})
+	}
+}

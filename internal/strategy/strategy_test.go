@@ -1,0 +1,255 @@
+package strategy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"emcast/internal/ids"
+	"emcast/internal/monitor"
+	"emcast/internal/peer"
+)
+
+var anyID = ids.ID{1, 2, 3}
+
+func TestFlatExtremes(t *testing.T) {
+	eager := &Flat{P: 1}
+	lazy := &Flat{P: 0}
+	for i := 0; i < 100; i++ {
+		if !eager.Eager(anyID, i, peer.ID(i)) {
+			t.Fatal("Flat(1) returned lazy")
+		}
+		if lazy.Eager(anyID, i, peer.ID(i)) {
+			t.Fatal("Flat(0) returned eager")
+		}
+	}
+	if eager.FirstDelay(1) != 0 {
+		t.Fatal("Flat first delay must be zero (request immediately)")
+	}
+}
+
+func TestFlatProbability(t *testing.T) {
+	s := &Flat{P: 0.3, RNG: rand.New(rand.NewSource(1))}
+	n := 0
+	const total = 20000
+	for i := 0; i < total; i++ {
+		if s.Eager(anyID, 0, 0) {
+			n++
+		}
+	}
+	got := float64(n) / total
+	if math.Abs(got-0.3) > 0.02 {
+		t.Fatalf("eager rate = %.3f, want ~0.30", got)
+	}
+}
+
+func TestTTLBoundary(t *testing.T) {
+	s := &TTL{U: 3}
+	cases := []struct {
+		round int
+		want  bool
+	}{{0, true}, {1, true}, {2, true}, {3, false}, {4, false}}
+	for _, c := range cases {
+		if got := s.Eager(anyID, c.round, 0); got != c.want {
+			t.Errorf("round %d: eager = %v, want %v", c.round, got, c.want)
+		}
+	}
+}
+
+func TestRadiusDecision(t *testing.T) {
+	mon := monitor.Func(func(p peer.ID) float64 { return float64(p) * 10 })
+	s := &Radius{Rho: 25, Monitor: mon, T0: 7 * time.Millisecond}
+	if !s.Eager(anyID, 0, 1) || !s.Eager(anyID, 0, 2) {
+		t.Fatal("peers inside radius not eager")
+	}
+	if s.Eager(anyID, 0, 3) || s.Eager(anyID, 0, 9) {
+		t.Fatal("peers outside radius eager")
+	}
+	if s.FirstDelay(1) != 7*time.Millisecond {
+		t.Fatal("Radius must delay the first request by T0")
+	}
+}
+
+func TestRadiusPicksNearestSource(t *testing.T) {
+	mon := monitor.Func(func(p peer.ID) float64 { return float64(p) })
+	s := &Radius{Rho: 1, Monitor: mon}
+	if got := s.PickSource([]peer.ID{9, 4, 7}); got != 4 {
+		t.Fatalf("picked %d, want nearest 4", got)
+	}
+	if got := s.PickSource(nil); got != peer.None {
+		t.Fatalf("empty sources: %v, want None", got)
+	}
+}
+
+func TestRadiusPicksFirstWhenAllUnknown(t *testing.T) {
+	mon := monitor.Func(func(p peer.ID) float64 { return monitor.Unknown() })
+	s := &Radius{Rho: 1, Monitor: mon}
+	if got := s.PickSource([]peer.ID{9, 4, 7}); got != 9 {
+		t.Fatalf("picked %d, want first source 9 when all metrics unknown", got)
+	}
+}
+
+func TestRankedDecisionTable(t *testing.T) {
+	best := map[peer.ID]bool{1: true, 2: true}
+	isBest := func(p peer.ID) bool { return best[p] }
+	fromBest := &Ranked{Self: 1, IsBest: isBest}
+	fromLow := &Ranked{Self: 5, IsBest: isBest}
+
+	if !fromBest.Eager(anyID, 0, 9) {
+		t.Fatal("best sender must always push eagerly")
+	}
+	if !fromLow.Eager(anyID, 0, 2) {
+		t.Fatal("push towards a best node must be eager")
+	}
+	if fromLow.Eager(anyID, 0, 6) {
+		t.Fatal("low-to-low push must be lazy")
+	}
+}
+
+func TestHybridDecision(t *testing.T) {
+	best := func(p peer.ID) bool { return p == 1 }
+	mon := monitor.Func(func(p peer.ID) float64 { return float64(p) * 10 })
+	s := &Hybrid{Self: 5, IsBest: best, Rho: 25, U: 2, Monitor: mon, T0: time.Millisecond}
+
+	if !s.Eager(anyID, 9, 1) {
+		t.Fatal("best target must always be eager")
+	}
+	// Round below U: radius is 2ρ = 50, so peer 4 (metric 40) is eager.
+	if !s.Eager(anyID, 1, 4) {
+		t.Fatal("peer within 2ρ during early rounds must be eager")
+	}
+	// Round at/after U: radius shrinks to ρ = 25, peer 4 now lazy.
+	if s.Eager(anyID, 2, 4) {
+		t.Fatal("peer outside ρ after round U must be lazy")
+	}
+	if !s.Eager(anyID, 2, 2) {
+		t.Fatal("peer within ρ must stay eager")
+	}
+	if s.FirstDelay(0) != time.Millisecond {
+		t.Fatal("hybrid inherits Radius request delay")
+	}
+	if got := s.PickSource([]peer.ID{8, 3}); got != 3 {
+		t.Fatal("hybrid picks nearest source")
+	}
+}
+
+// TestNoisyZeroIsIdentity property-checks o=0: decisions are exactly the
+// base strategy's.
+func TestNoisyZeroIsIdentity(t *testing.T) {
+	f := func(rounds []uint8) bool {
+		base := &TTL{U: 3}
+		noisy := &Noisy{Base: &TTL{U: 3}, O: 0, RNG: rand.New(rand.NewSource(1))}
+		for _, r := range rounds {
+			if base.Eager(anyID, int(r%8), 0) != noisy.Eager(anyID, int(r%8), 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoisyFullErasesStructureButKeepsRate(t *testing.T) {
+	// Base: ranked-like, eager iff target < 20 (rate 0.2 under uniform
+	// targets). At o=1 every target must be equally likely to get an
+	// eager push, at the same overall rate.
+	rng := rand.New(rand.NewSource(2))
+	base := eagerFunc(func(to peer.ID) bool { return to < 20 })
+	noisy := &Noisy{Base: base, O: 1, RNG: rng, C: 0.2}
+
+	const perTarget = 2000
+	eagerLow, eagerHigh := 0, 0
+	for i := 0; i < perTarget; i++ {
+		if noisy.Eager(anyID, 0, peer.ID(i%20)) {
+			eagerLow++
+		}
+		if noisy.Eager(anyID, 0, peer.ID(20+i%80)) {
+			eagerHigh++
+		}
+	}
+	rateLow := float64(eagerLow) / perTarget
+	rateHigh := float64(eagerHigh) / perTarget
+	if math.Abs(rateLow-0.2) > 0.03 || math.Abs(rateHigh-0.2) > 0.03 {
+		t.Fatalf("o=1 rates: low=%.3f high=%.3f, want both ~0.2 (structure erased)", rateLow, rateHigh)
+	}
+}
+
+func TestNoisyRunningEstimate(t *testing.T) {
+	// Without a configured C, the running estimate must converge to the
+	// base rate.
+	rng := rand.New(rand.NewSource(3))
+	base := &Flat{P: 0.4, RNG: rand.New(rand.NewSource(4))}
+	noisy := &Noisy{Base: base, O: 0.5, RNG: rng, C: -1}
+	for i := 0; i < 5000; i++ {
+		noisy.Eager(anyID, 0, 0)
+	}
+	if got := noisy.rate(); math.Abs(got-0.4) > 0.05 {
+		t.Fatalf("running estimate = %.3f, want ~0.4", got)
+	}
+}
+
+func TestNoisyPreservesOverallRateMidNoise(t *testing.T) {
+	// The paper's construction preserves total eager volume at any o.
+	for _, o := range []float64{0.25, 0.5, 0.75} {
+		rng := rand.New(rand.NewSource(5))
+		base := eagerFunc(func(to peer.ID) bool { return to%4 == 0 }) // rate 0.25
+		noisy := &Noisy{Base: base, O: o, RNG: rng, C: 0.25}
+		n := 0
+		const total = 40000
+		for i := 0; i < total; i++ {
+			if noisy.Eager(anyID, 0, peer.ID(i%100)) {
+				n++
+			}
+		}
+		got := float64(n) / total
+		if math.Abs(got-0.25) > 0.02 {
+			t.Fatalf("o=%.2f: overall rate %.3f, want ~0.25", o, got)
+		}
+	}
+}
+
+func TestNoisyDelegates(t *testing.T) {
+	mon := monitor.Func(func(p peer.ID) float64 { return float64(p) })
+	base := &Radius{Rho: 5, Monitor: mon, T0: 9 * time.Millisecond}
+	noisy := &Noisy{Base: base, O: 0.5, RNG: rand.New(rand.NewSource(1))}
+	if noisy.FirstDelay(0) != 9*time.Millisecond {
+		t.Fatal("noise must not affect request scheduling")
+	}
+	if noisy.PickSource([]peer.ID{3, 1}) != 1 {
+		t.Fatal("noise must not affect source selection")
+	}
+}
+
+func TestNames(t *testing.T) {
+	mon := monitor.Func(func(peer.ID) float64 { return 0 })
+	strategies := []Strategy{
+		&Flat{P: 0.5},
+		&TTL{U: 2},
+		&Radius{Rho: 1, Monitor: mon},
+		&Ranked{Self: 0, IsBest: func(peer.ID) bool { return false }},
+		&Hybrid{Self: 0, IsBest: func(peer.ID) bool { return false }, Monitor: mon},
+		&Noisy{Base: &TTL{U: 1}, O: 0.5, RNG: rand.New(rand.NewSource(1))},
+	}
+	seen := map[string]bool{}
+	for _, s := range strategies {
+		name := s.Name()
+		if name == "" || seen[name] {
+			t.Fatalf("bad or duplicate strategy name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+// eagerFunc adapts a predicate on targets to a Strategy for noise tests.
+type eagerFunc func(to peer.ID) bool
+
+func (f eagerFunc) Name() string                           { return "test" }
+func (f eagerFunc) Eager(_ ids.ID, _ int, to peer.ID) bool { return f(to) }
+func (f eagerFunc) FirstDelay(peer.ID) time.Duration       { return 0 }
+func (f eagerFunc) PickSource(s []peer.ID) peer.ID         { return firstSource(s) }
+
+var _ Strategy = eagerFunc(nil)

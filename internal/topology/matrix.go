@@ -1,0 +1,156 @@
+package topology
+
+import (
+	"container/heap"
+	"math"
+	"time"
+)
+
+// Matrix holds the all-pairs client-to-client shortest-path latency and hop
+// counts, plus the client plane coordinates. It backs both the network
+// emulator (per-packet delays) and the oracle monitors (paper §4.3 uses
+// global knowledge "extracted directly from the model file").
+type Matrix struct {
+	N       int
+	Latency [][]time.Duration
+	Hops    [][]int
+	Coords  [][2]float64
+}
+
+// ClientMatrix computes shortest-path latency (Dijkstra) and hop counts
+// between every pair of clients.
+func (n *Network) ClientMatrix() *Matrix {
+	c := len(n.Clients)
+	m := &Matrix{
+		N:       c,
+		Latency: make([][]time.Duration, c),
+		Hops:    make([][]int, c),
+		Coords:  make([][2]float64, c),
+	}
+	index := make(map[int]int, c) // node id -> client index
+	for i, id := range n.Clients {
+		index[id] = i
+		m.Coords[i] = [2]float64{n.Nodes[id].X, n.Nodes[id].Y}
+	}
+	for i, src := range n.Clients {
+		distNs, hops := n.dijkstra(src)
+		m.Latency[i] = make([]time.Duration, c)
+		m.Hops[i] = make([]int, c)
+		for j, dst := range n.Clients {
+			m.Latency[i][j] = time.Duration(distNs[dst])
+			m.Hops[i][j] = hops[dst]
+		}
+	}
+	return m
+}
+
+// dijkstra returns shortest-path distance in nanoseconds and hop counts
+// from src to every node.
+func (n *Network) dijkstra(src int) ([]int64, []int) {
+	const inf = math.MaxInt64
+	distNs := make([]int64, len(n.Nodes))
+	hops := make([]int, len(n.Nodes))
+	done := make([]bool, len(n.Nodes))
+	for i := range distNs {
+		distNs[i] = inf
+		hops[i] = -1
+	}
+	distNs[src] = 0
+	hops[src] = 0
+	pq := &nodeHeap{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		for _, e := range n.Adj[it.node] {
+			nd := distNs[it.node] + int64(e.Latency)
+			if nd < distNs[e.To] || (nd == distNs[e.To] && hops[it.node]+1 < hops[e.To]) {
+				distNs[e.To] = nd
+				hops[e.To] = hops[it.node] + 1
+				heap.Push(pq, heapItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	return distNs, hops
+}
+
+type heapItem struct {
+	node int
+	dist int64
+}
+
+type nodeHeap []heapItem
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Stats summarises a client matrix against the paper's §5.1 reference
+// values.
+type Stats struct {
+	NetworkNodes int
+	ClientPairs  int
+	// MeanHops is the average hop distance between client pairs
+	// (paper: 5.54).
+	MeanHops float64
+	// FracHops5to6 is the fraction of pairs within 5 and 6 hops
+	// (paper: 74.28%).
+	FracHops5to6 float64
+	// MeanLatency is the average end-to-end latency (paper: 49.83 ms).
+	MeanLatency time.Duration
+	// FracLat39to60 is the fraction of pairs between 39 ms and 60 ms
+	// (paper: 50%).
+	FracLat39to60 float64
+}
+
+// Stats computes summary statistics of the client-to-client paths.
+func (m *Matrix) Stats(networkNodes int) Stats {
+	var s Stats
+	s.NetworkNodes = networkNodes
+	var sumHops float64
+	var sumLat time.Duration
+	var in56, in3960 int
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			if i == j {
+				continue
+			}
+			s.ClientPairs++
+			h := m.Hops[i][j]
+			sumHops += float64(h)
+			if h >= 5 && h <= 6 {
+				in56++
+			}
+			l := m.Latency[i][j]
+			sumLat += l
+			if l >= 39*time.Millisecond && l <= 60*time.Millisecond {
+				in3960++
+			}
+		}
+	}
+	if s.ClientPairs > 0 {
+		s.MeanHops = sumHops / float64(s.ClientPairs)
+		s.MeanLatency = sumLat / time.Duration(s.ClientPairs)
+		s.FracHops5to6 = float64(in56) / float64(s.ClientPairs)
+		s.FracLat39to60 = float64(in3960) / float64(s.ClientPairs)
+	}
+	return s
+}
+
+// Distance returns the Euclidean plane distance between clients i and j,
+// used by the geographic distance monitor (paper §4.2).
+func (m *Matrix) Distance(i, j int) float64 {
+	dx := m.Coords[i][0] - m.Coords[j][0]
+	dy := m.Coords[i][1] - m.Coords[j][1]
+	return math.Hypot(dx, dy)
+}

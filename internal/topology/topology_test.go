@@ -1,0 +1,184 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGenerateCounts(t *testing.T) {
+	p := DefaultParams()
+	n := Generate(p)
+	wantRouters := p.TransitDomains*p.TransitPerDomain +
+		p.TransitDomains*p.TransitPerDomain*p.StubDomainsPerTransit*p.StubPerDomain
+	if got := len(n.Nodes) - p.Clients; got != wantRouters {
+		t.Fatalf("router count = %d, want %d", got, wantRouters)
+	}
+	if len(n.Clients) != p.Clients {
+		t.Fatalf("client count = %d, want %d", len(n.Clients), p.Clients)
+	}
+	// Paper §5.1: the Inet-3.0 default is 3037 network nodes; the
+	// generated router population must be in the same range.
+	if wantRouters < 2500 || wantRouters > 3500 {
+		t.Errorf("router population %d outside the paper's ~3037 range", wantRouters)
+	}
+	for i, node := range n.Nodes {
+		if len(n.Adj[i]) == 0 {
+			t.Fatalf("node %d (%v) has no links", i, node.Kind)
+		}
+	}
+}
+
+func TestClientsAttachedToDistinctStubs(t *testing.T) {
+	n := Generate(DefaultParams())
+	seen := make(map[int]bool)
+	for _, c := range n.Clients {
+		if n.Nodes[c].Kind != Client {
+			t.Fatalf("client list contains non-client node %d", c)
+		}
+		if len(n.Adj[c]) != 1 {
+			t.Fatalf("client %d has %d links, want 1", c, len(n.Adj[c]))
+		}
+		attach := n.Adj[c][0].To
+		if n.Nodes[attach].Kind != Stub {
+			t.Fatalf("client %d attached to %v node", c, n.Nodes[attach].Kind)
+		}
+		if seen[attach] {
+			t.Fatalf("stub %d hosts two clients", attach)
+		}
+		seen[attach] = true
+		if n.Adj[c][0].Latency != n.Params.ClientStubLatency {
+			t.Fatalf("client access latency = %v, want %v", n.Adj[c][0].Latency, n.Params.ClientStubLatency)
+		}
+	}
+}
+
+func TestMatrixSymmetryAndReachability(t *testing.T) {
+	p := DefaultParams()
+	p.Clients = 40
+	m := Generate(p).ClientMatrix()
+	for i := 0; i < m.N; i++ {
+		if m.Latency[i][i] != 0 || m.Hops[i][i] != 0 {
+			t.Fatalf("self distance not zero for %d", i)
+		}
+		for j := 0; j < m.N; j++ {
+			if i == j {
+				continue
+			}
+			if m.Latency[i][j] <= 0 {
+				t.Fatalf("latency[%d][%d] = %v, want > 0 (graph must be connected)", i, j, m.Latency[i][j])
+			}
+			if m.Latency[i][j] != m.Latency[j][i] {
+				t.Fatalf("latency asymmetric: [%d][%d]=%v [%d][%d]=%v", i, j, m.Latency[i][j], j, i, m.Latency[j][i])
+			}
+			if m.Hops[i][j] < 2 {
+				t.Fatalf("hops[%d][%d] = %d, want >= 2 (distinct stubs)", i, j, m.Hops[i][j])
+			}
+		}
+	}
+}
+
+// TestPaperBands checks the §5.1 reference properties: mean end-to-end
+// latency ~49.83 ms, 50% of pairs within 39-60 ms, mean hops ~5.54.
+func TestPaperBands(t *testing.T) {
+	p := DefaultParams()
+	n := Generate(p)
+	s := n.ClientMatrix().Stats(len(n.Nodes) - p.Clients)
+	t.Logf("stats: %+v", s)
+	if s.MeanLatency < 35*time.Millisecond || s.MeanLatency > 65*time.Millisecond {
+		t.Errorf("mean latency %v outside [35ms, 65ms] (paper: 49.83ms)", s.MeanLatency)
+	}
+	if s.FracLat39to60 < 0.30 {
+		t.Errorf("frac within 39-60ms = %.2f, want >= 0.30 (paper: 0.50)", s.FracLat39to60)
+	}
+	if s.MeanHops < 4 || s.MeanHops > 8 {
+		t.Errorf("mean hops %.2f outside [4, 8] (paper: 5.54)", s.MeanHops)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := DefaultParams()
+	p.Clients = 20
+	a := Generate(p).ClientMatrix()
+	b := Generate(p).ClientMatrix()
+	for i := 0; i < a.N; i++ {
+		for j := 0; j < a.N; j++ {
+			if a.Latency[i][j] != b.Latency[i][j] {
+				t.Fatalf("same seed produced different matrices at [%d][%d]", i, j)
+			}
+		}
+	}
+	p2 := p
+	p2.Seed = 2
+	c := Generate(p2).ClientMatrix()
+	same := true
+	for i := 0; i < a.N && same; i++ {
+		for j := 0; j < a.N; j++ {
+			if a.Latency[i][j] != c.Latency[i][j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
+
+// TestTriangleQuick property-tests that shortest-path latencies obey the
+// triangle inequality (they are shortest paths over a shared graph).
+func TestTriangleQuick(t *testing.T) {
+	p := DefaultParams()
+	p.Clients = 30
+	p.StubPerDomain = 8
+	m := Generate(p).ClientMatrix()
+	f := func(a, b, c uint8) bool {
+		i, j, k := int(a)%m.N, int(b)%m.N, int(c)%m.N
+		return m.Latency[i][k] <= m.Latency[i][j]+m.Latency[j][k]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	p := DefaultParams()
+	p.Clients = 10
+	p.StubPerDomain = 4
+	m := Generate(p).ClientMatrix()
+	for i := 0; i < m.N; i++ {
+		if d := m.Distance(i, i); d != 0 {
+			t.Fatalf("Distance(%d,%d) = %v, want 0", i, i, d)
+		}
+		for j := i + 1; j < m.N; j++ {
+			d := m.Distance(i, j)
+			if d <= 0 || math.IsNaN(d) {
+				t.Fatalf("Distance(%d,%d) = %v", i, j, d)
+			}
+			if d != m.Distance(j, i) {
+				t.Fatalf("Distance asymmetric for (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := DefaultParams().Scaled(4)
+	if p.Clients != DefaultParams().Clients {
+		t.Fatalf("Scaled changed client count")
+	}
+	n := Generate(p)
+	if len(n.Nodes) >= len(Generate(DefaultParams()).Nodes) {
+		t.Fatal("Scaled did not reduce the router population")
+	}
+}
+
+func TestInvalidParamsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate with zero params did not panic")
+		}
+	}()
+	Generate(Params{})
+}

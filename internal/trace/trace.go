@@ -1,0 +1,241 @@
+// Package trace records protocol events (multicasts, deliveries, payload
+// and control transmissions) for later analysis, playing the role of the
+// paper's per-run logs (§5.3: "all messages multicast and delivered are
+// logged for later processing", and "payload transmissions on each link are
+// also recorded separately").
+package trace
+
+import (
+	"sync"
+	"time"
+
+	"emcast/internal/ids"
+	"emcast/internal/peer"
+)
+
+// Tracer receives protocol events. Implementations must be safe for
+// concurrent use so real-transport deployments can share one tracer.
+type Tracer interface {
+	// Multicast records that node origin multicast message id at time at.
+	Multicast(origin peer.ID, id ids.ID, at time.Duration)
+	// Delivered records that node delivered message id at time at.
+	Delivered(node peer.ID, id ids.ID, at time.Duration)
+	// PayloadSent records a full payload transmission on a link. eager
+	// distinguishes scheduler-eager pushes from lazy IWANT-served
+	// retransmissions.
+	PayloadSent(from, to peer.ID, id ids.ID, bytes int, eager bool)
+	// ControlSent records a control frame (IHAVE, IWANT) transmission.
+	ControlSent(from, to peer.ID, kind string, bytes int)
+	// DuplicatePayload records receipt of a payload for an
+	// already-received message (redundant transmission).
+	DuplicatePayload(node peer.ID, id ids.ID)
+	// RequestMiss records an IWANT for a payload no longer cached.
+	RequestMiss(node peer.ID, id ids.ID)
+}
+
+// Nop is a Tracer that discards all events.
+type Nop struct{}
+
+// Multicast implements Tracer.
+func (Nop) Multicast(peer.ID, ids.ID, time.Duration) {}
+
+// Delivered implements Tracer.
+func (Nop) Delivered(peer.ID, ids.ID, time.Duration) {}
+
+// PayloadSent implements Tracer.
+func (Nop) PayloadSent(peer.ID, peer.ID, ids.ID, int, bool) {}
+
+// ControlSent implements Tracer.
+func (Nop) ControlSent(peer.ID, peer.ID, string, int) {}
+
+// DuplicatePayload implements Tracer.
+func (Nop) DuplicatePayload(peer.ID, ids.ID) {}
+
+// RequestMiss implements Tracer.
+func (Nop) RequestMiss(peer.ID, ids.ID) {}
+
+var _ Tracer = Nop{}
+
+// Delivery is one recorded delivery.
+type Delivery struct {
+	Node peer.ID
+	At   time.Duration
+}
+
+// Message aggregates the life of one multicast message.
+type Message struct {
+	Origin     peer.ID
+	SentAt     time.Duration
+	Deliveries []Delivery
+}
+
+// Link identifies an undirected node pair; the paper analyses traffic per
+// connection, and NeEM connections are bidirectional TCP links.
+type Link struct {
+	A, B peer.ID
+}
+
+// MakeLink normalises the endpoint order.
+func MakeLink(a, b peer.ID) Link {
+	if a > b {
+		a, b = b, a
+	}
+	return Link{A: a, B: b}
+}
+
+// LinkLoad accumulates payload traffic over one link.
+type LinkLoad struct {
+	Payloads int
+	Bytes    int
+}
+
+// Collector is a Tracer that aggregates events in memory.
+type Collector struct {
+	mu sync.Mutex
+
+	messages map[ids.ID]*Message
+	order    []ids.ID
+
+	links          map[Link]*LinkLoad
+	payloadByNode  map[peer.ID]int
+	eagerPayloads  int
+	lazyPayloads   int
+	controlFrames  int
+	controlBytes   int
+	payloadBytes   int
+	duplicates     int
+	requestMisses  int
+	totalPayloads  int
+	totalDelivered int
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		messages:      make(map[ids.ID]*Message),
+		links:         make(map[Link]*LinkLoad),
+		payloadByNode: make(map[peer.ID]int),
+	}
+}
+
+// Multicast implements Tracer.
+func (c *Collector) Multicast(origin peer.ID, id ids.ID, at time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.messages[id]; !ok {
+		c.messages[id] = &Message{Origin: origin, SentAt: at}
+		c.order = append(c.order, id)
+	}
+}
+
+// Delivered implements Tracer.
+func (c *Collector) Delivered(node peer.ID, id ids.ID, at time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.messages[id]
+	if !ok {
+		// Delivery of a message whose multicast was not traced (can
+		// happen in partial traces); record it with unknown origin.
+		m = &Message{Origin: peer.None, SentAt: -1}
+		c.messages[id] = m
+		c.order = append(c.order, id)
+	}
+	m.Deliveries = append(m.Deliveries, Delivery{Node: node, At: at})
+	c.totalDelivered++
+}
+
+// PayloadSent implements Tracer.
+func (c *Collector) PayloadSent(from, to peer.ID, id ids.ID, bytes int, eager bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l := MakeLink(from, to)
+	load, ok := c.links[l]
+	if !ok {
+		load = &LinkLoad{}
+		c.links[l] = load
+	}
+	load.Payloads++
+	load.Bytes += bytes
+	c.payloadByNode[from]++
+	c.totalPayloads++
+	c.payloadBytes += bytes
+	if eager {
+		c.eagerPayloads++
+	} else {
+		c.lazyPayloads++
+	}
+}
+
+// ControlSent implements Tracer.
+func (c *Collector) ControlSent(from, to peer.ID, kind string, bytes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.controlFrames++
+	c.controlBytes += bytes
+}
+
+// DuplicatePayload implements Tracer.
+func (c *Collector) DuplicatePayload(node peer.ID, id ids.ID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.duplicates++
+}
+
+// RequestMiss implements Tracer.
+func (c *Collector) RequestMiss(node peer.ID, id ids.ID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.requestMisses++
+}
+
+var _ Tracer = (*Collector)(nil)
+
+// Snapshot is an immutable copy of the collected data.
+type Snapshot struct {
+	Messages      []Message
+	Links         map[Link]LinkLoad
+	PayloadByNode map[peer.ID]int
+
+	TotalPayloads  int
+	EagerPayloads  int
+	LazyPayloads   int
+	PayloadBytes   int
+	ControlFrames  int
+	ControlBytes   int
+	Duplicates     int
+	RequestMisses  int
+	TotalDelivered int
+}
+
+// Snapshot copies the current state for analysis.
+func (c *Collector) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{
+		Messages:       make([]Message, 0, len(c.order)),
+		Links:          make(map[Link]LinkLoad, len(c.links)),
+		PayloadByNode:  make(map[peer.ID]int, len(c.payloadByNode)),
+		TotalPayloads:  c.totalPayloads,
+		EagerPayloads:  c.eagerPayloads,
+		LazyPayloads:   c.lazyPayloads,
+		PayloadBytes:   c.payloadBytes,
+		ControlFrames:  c.controlFrames,
+		ControlBytes:   c.controlBytes,
+		Duplicates:     c.duplicates,
+		RequestMisses:  c.requestMisses,
+		TotalDelivered: c.totalDelivered,
+	}
+	for _, id := range c.order {
+		m := c.messages[id]
+		cp := *m
+		cp.Deliveries = append([]Delivery(nil), m.Deliveries...)
+		s.Messages = append(s.Messages, cp)
+	}
+	for l, load := range c.links {
+		s.Links[l] = *load
+	}
+	for n, k := range c.payloadByNode {
+		s.PayloadByNode[n] = k
+	}
+	return s
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"emcast/internal/ids"
+	"emcast/internal/peer"
+)
+
+var (
+	idA = ids.ID{1}
+	idB = ids.ID{2}
+)
+
+func TestMakeLinkNormalises(t *testing.T) {
+	if MakeLink(5, 2) != MakeLink(2, 5) {
+		t.Fatal("link endpoints not normalised")
+	}
+	l := MakeLink(7, 3)
+	if l.A != 3 || l.B != 7 {
+		t.Fatalf("link = %+v, want {3 7}", l)
+	}
+}
+
+func TestCollectorMessageLifecycle(t *testing.T) {
+	c := NewCollector()
+	c.Multicast(1, idA, 100*time.Millisecond)
+	c.Delivered(1, idA, 100*time.Millisecond)
+	c.Delivered(2, idA, 150*time.Millisecond)
+	c.Delivered(3, idA, 160*time.Millisecond)
+
+	snap := c.Snapshot()
+	if len(snap.Messages) != 1 {
+		t.Fatalf("messages = %d", len(snap.Messages))
+	}
+	m := snap.Messages[0]
+	if m.Origin != 1 || m.SentAt != 100*time.Millisecond {
+		t.Fatalf("message meta = %+v", m)
+	}
+	if len(m.Deliveries) != 3 || snap.TotalDelivered != 3 {
+		t.Fatalf("deliveries = %d / %d", len(m.Deliveries), snap.TotalDelivered)
+	}
+}
+
+func TestCollectorDeliveryWithoutMulticast(t *testing.T) {
+	c := NewCollector()
+	c.Delivered(2, idB, time.Second)
+	snap := c.Snapshot()
+	if len(snap.Messages) != 1 {
+		t.Fatal("orphan delivery not recorded")
+	}
+	if snap.Messages[0].Origin != peer.None || snap.Messages[0].SentAt >= 0 {
+		t.Fatalf("orphan message meta = %+v", snap.Messages[0])
+	}
+}
+
+func TestCollectorLinkAggregation(t *testing.T) {
+	c := NewCollector()
+	c.PayloadSent(1, 2, idA, 100, true)
+	c.PayloadSent(2, 1, idA, 50, false) // same undirected connection
+	c.PayloadSent(1, 3, idB, 25, true)
+
+	snap := c.Snapshot()
+	if len(snap.Links) != 2 {
+		t.Fatalf("links = %d, want 2", len(snap.Links))
+	}
+	l12 := snap.Links[MakeLink(1, 2)]
+	if l12.Payloads != 2 || l12.Bytes != 150 {
+		t.Fatalf("link 1-2 = %+v", l12)
+	}
+	if snap.EagerPayloads != 2 || snap.LazyPayloads != 1 {
+		t.Fatalf("eager=%d lazy=%d", snap.EagerPayloads, snap.LazyPayloads)
+	}
+	if snap.PayloadByNode[1] != 2 || snap.PayloadByNode[2] != 1 {
+		t.Fatalf("per-node = %v", snap.PayloadByNode)
+	}
+	if snap.PayloadBytes != 175 {
+		t.Fatalf("bytes = %d", snap.PayloadBytes)
+	}
+}
+
+func TestCollectorCounters(t *testing.T) {
+	c := NewCollector()
+	c.ControlSent(1, 2, "IHAVE", 17)
+	c.ControlSent(1, 2, "IWANT", 17)
+	c.DuplicatePayload(3, idA)
+	c.RequestMiss(4, idA)
+	snap := c.Snapshot()
+	if snap.ControlFrames != 2 || snap.ControlBytes != 34 {
+		t.Fatalf("control = %d/%d", snap.ControlFrames, snap.ControlBytes)
+	}
+	if snap.Duplicates != 1 || snap.RequestMisses != 1 {
+		t.Fatalf("dup=%d miss=%d", snap.Duplicates, snap.RequestMisses)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	c := NewCollector()
+	c.Multicast(1, idA, 0)
+	c.Delivered(2, idA, time.Millisecond)
+	snap := c.Snapshot()
+	// Mutating the snapshot must not affect the collector.
+	snap.Messages[0].Deliveries = append(snap.Messages[0].Deliveries, Delivery{Node: 99})
+	snap.PayloadByNode[77] = 1
+	snap2 := c.Snapshot()
+	if len(snap2.Messages[0].Deliveries) != 1 {
+		t.Fatal("snapshot shares delivery slices with the collector")
+	}
+	if _, ok := snap2.PayloadByNode[77]; ok {
+		t.Fatal("snapshot shares maps with the collector")
+	}
+}
+
+func TestCollectorConcurrentUse(t *testing.T) {
+	// The collector is shared by all nodes in real-transport runs; a
+	// quick hammer under -race catches locking regressions.
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := ids.ID{byte(g), byte(i)}
+				c.Multicast(peer.ID(g), id, 0)
+				c.Delivered(peer.ID(g), id, time.Duration(i))
+				c.PayloadSent(peer.ID(g), peer.ID(g+1), id, 10, i%2 == 0)
+				c.ControlSent(peer.ID(g), peer.ID(g+1), "IHAVE", 17)
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := c.Snapshot()
+	if snap.TotalDelivered != 8*200 {
+		t.Fatalf("delivered = %d, want %d", snap.TotalDelivered, 8*200)
+	}
+	if snap.TotalPayloads != 8*200 {
+		t.Fatalf("payloads = %d", snap.TotalPayloads)
+	}
+}
+
+func TestNopTracerIsSafe(t *testing.T) {
+	var n Nop
+	n.Multicast(1, idA, 0)
+	n.Delivered(1, idA, 0)
+	n.PayloadSent(1, 2, idA, 1, true)
+	n.ControlSent(1, 2, "IHAVE", 1)
+	n.DuplicatePayload(1, idA)
+	n.RequestMiss(1, idA)
+}

@@ -1,0 +1,226 @@
+package emcast
+
+import (
+	"fmt"
+	"time"
+
+	"emcast/internal/core"
+	"emcast/internal/ids"
+	"emcast/internal/monitor"
+	"emcast/internal/neem"
+	"emcast/internal/peer"
+	"emcast/internal/ranking"
+	"emcast/internal/strategy"
+	"emcast/internal/trace"
+)
+
+// PeerConfig configures a real-network protocol node.
+type PeerConfig struct {
+	// Self is this node's identifier; it must be unique in the group.
+	Self NodeID
+	// ListenAddr is the TCP address to listen on (e.g. ":7946").
+	ListenAddr string
+	// Peers maps every other node's identifier to its address (static
+	// address book).
+	Peers map[NodeID]string
+
+	// Strategy selects the transmission strategy. Real deployments
+	// support Eager, Lazy, Flat, TTL, Ranked (with Hubs) and Radius
+	// (with RadiusMs, fed by the built-in RTT monitor). Default Eager.
+	Strategy Strategy
+	// FlatP is Flat's eager probability.
+	FlatP float64
+	// TTLRounds is TTL's round threshold.
+	TTLRounds int
+	// RadiusMs is Radius' one-way latency radius in milliseconds.
+	RadiusMs float64
+	// Hubs designates the Ranked best nodes, e.g. well-provisioned
+	// machines (the paper suggests an ISP may configure these
+	// explicitly). When empty, the Ranked strategy falls back to the
+	// gossip-based ranking protocol: hubs are discovered at run time
+	// from RTT measurements spread epidemically, with BestFraction of
+	// the group acting as hubs.
+	Hubs []NodeID
+	// BestFraction is the hub fraction for gossip-ranked deployments
+	// (default 0.2).
+	BestFraction float64
+
+	// Fanout overrides the gossip fanout (default 11).
+	Fanout int
+	// Seed drives protocol randomness. Default: derived from Self.
+	Seed int64
+
+	// OnDeliver is invoked (on a transport goroutine) for every
+	// delivered message.
+	OnDeliver func(Delivery)
+}
+
+// Peer is a protocol node on a real TCP network.
+type Peer struct {
+	cfg       PeerConfig
+	transport *neem.Transport
+	clock     *neem.Clock
+	node      *core.Node
+	table     *ranking.Table
+}
+
+// NewPeer starts a real-network protocol node: it binds the listen address,
+// seeds its view from the address book, and launches the periodic overlay
+// and monitoring tasks.
+func NewPeer(cfg PeerConfig) (*Peer, error) {
+	if cfg.ListenAddr == "" {
+		return nil, fmt.Errorf("emcast: PeerConfig.ListenAddr is required")
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = int64(cfg.Self) + 1
+	}
+
+	clock := neem.NewClock()
+	transport, err := neem.Listen(neem.Config{
+		Self:       cfg.Self,
+		ListenAddr: cfg.ListenAddr,
+		Peers:      cfg.Peers,
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	env := &peer.Env{
+		Transport: transport,
+		Clock:     clock,
+		Timers:    neem.Timers{},
+	}
+
+	var (
+		ewma  *monitor.EWMA
+		table *ranking.Table
+	)
+	hubs := make(map[NodeID]bool, len(cfg.Hubs))
+	for _, h := range cfg.Hubs {
+		hubs[h] = true
+	}
+	var strat strategy.Strategy
+	nodeCfg := core.DefaultConfig()
+	nodeCfg.Seed = seed
+	if cfg.Fanout > 0 {
+		nodeCfg.Gossip.Fanout = cfg.Fanout
+	}
+	switch cfg.Strategy {
+	case Eager, "":
+		strat = &strategy.Flat{P: 1.0}
+	case Lazy:
+		strat = &strategy.Flat{P: 0.0}
+	case Flat:
+		strat = &strategy.Flat{P: cfg.FlatP} // RNG filled below
+	case TTL:
+		u := cfg.TTLRounds
+		if u <= 0 {
+			u = 2
+		}
+		strat = &strategy.TTL{U: u}
+	case Ranked:
+		if len(hubs) > 0 {
+			strat = &strategy.Ranked{Self: cfg.Self, IsBest: func(p NodeID) bool { return hubs[p] }}
+			break
+		}
+		// No explicit hubs: discover them with the gossip-based
+		// ranking protocol over run-time RTT measurements.
+		ewma = monitor.NewEWMA(0.125)
+		nodeCfg.PingPeriod = time.Second
+		nodeCfg.RankGossipPeriod = time.Second
+		fraction := cfg.BestFraction
+		if fraction <= 0 {
+			fraction = 0.2
+		}
+		table = ranking.NewTable(ranking.Config{Fraction: fraction}, cfg.Self)
+		strat = &strategy.Ranked{Self: cfg.Self, IsBest: table.IsBest}
+	case Radius:
+		if cfg.RadiusMs <= 0 {
+			return nil, fmt.Errorf("emcast: Radius strategy requires RadiusMs")
+		}
+		ewma = monitor.NewEWMA(0.125)
+		nodeCfg.PingPeriod = time.Second
+		strat = &strategy.Radius{
+			Rho:     cfg.RadiusMs,
+			Monitor: ewma,
+			T0:      time.Duration(cfg.RadiusMs * float64(time.Millisecond)),
+		}
+	default:
+		transport.Close()
+		return nil, fmt.Errorf("emcast: strategy %q not supported on real networks", cfg.Strategy)
+	}
+
+	p := &Peer{cfg: cfg, transport: transport, clock: clock, table: table}
+	var deliver func(id ids.ID, payload []byte)
+	if cfg.OnDeliver != nil {
+		onDeliver := cfg.OnDeliver
+		deliver = func(id ids.ID, payload []byte) {
+			onDeliver(Delivery{
+				Node:    cfg.Self,
+				ID:      id,
+				Payload: append([]byte(nil), payload...),
+				At:      clock.Now(),
+			})
+		}
+	}
+	p.node = core.NewNode(nodeCfg, env, core.Options{
+		Strategy: strat,
+		Deliver:  deliver,
+		Tracer:   trace.Nop{},
+		EWMA:     ewma,
+		Ranking:  table,
+	})
+	if f, ok := strat.(*strategy.Flat); ok && f.RNG == nil {
+		f.RNG = env.RNG // filled by core.NewNode
+	}
+	transport.SetHandler(p.node.HandleFrame)
+
+	// Bootstrap: seed the view from the address book.
+	seedPeers := make([]NodeID, 0, len(cfg.Peers))
+	for id := range cfg.Peers {
+		seedPeers = append(seedPeers, id)
+	}
+	p.node.SeedView(seedPeers)
+	p.node.Start()
+	return p, nil
+}
+
+// ID returns this node's identifier.
+func (p *Peer) ID() NodeID { return p.cfg.Self }
+
+// Addr returns the bound listen address (useful with ":0").
+func (p *Peer) Addr() string { return p.transport.Addr().String() }
+
+// Multicast disseminates payload to the whole group.
+func (p *Peer) Multicast(payload []byte) MessageID {
+	return p.node.Multicast(payload)
+}
+
+// Delivered reports whether the message has been delivered locally.
+func (p *Peer) Delivered(id MessageID) bool { return p.node.Delivered(id) }
+
+// View returns the peer's current partial view of the overlay.
+func (p *Peer) View() []NodeID { return p.node.View() }
+
+// BelievesHub reports whether this peer currently considers the given node
+// a hub. With explicit Hubs it is the configured set; with gossip ranking
+// it is this peer's current local approximation (different peers may
+// briefly disagree — the protocol tolerates that by construction).
+func (p *Peer) BelievesHub(n NodeID) bool {
+	if p.table != nil {
+		return p.table.IsBest(n)
+	}
+	for _, h := range p.cfg.Hubs {
+		if h == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Close stops periodic tasks and shuts the transport down.
+func (p *Peer) Close() error {
+	p.node.Stop()
+	return p.transport.Close()
+}
