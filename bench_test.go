@@ -21,6 +21,7 @@ import (
 	"emcast/internal/membership"
 	"emcast/internal/msg"
 	"emcast/internal/peer"
+	"emcast/internal/scenario"
 	"emcast/internal/sim"
 	"emcast/internal/topology"
 )
@@ -201,6 +202,49 @@ func BenchmarkA2Churn(b *testing.B) {
 	}
 	b.ReportMetric(100*res.JoinerCoverage, "joiner-coverage-%")
 	b.ReportMetric(100*res.DeliveryRate, "deliveries-%")
+}
+
+// --- Scenario engine: declarative workloads, churn and network dynamics ---
+
+// runScenario plays one builtin scenario archetype per iteration, scaled
+// to the benchmark size, and reports its protocol metrics from the final
+// iteration.
+func runScenario(b *testing.B, name string) {
+	b.Helper()
+	var rep *scenario.Report
+	for i := 0; i < b.N; i++ {
+		spec, err := scenario.Builtin(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec.Nodes = 40
+		spec.Seed = int64(i + 1)
+		spec.TopologyScale = 8
+		eng, err := scenario.New(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep, err = eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.Overall.MessagesSent), "messages")
+	b.ReportMetric(100*rep.Overall.DeliveryRate, "deliveries-%")
+	b.ReportMetric(rep.Overall.MeanLatencyMS, "latency-ms")
+	b.ReportMetric(100*rep.Overall.Top5LinkShare, "top5-traffic-%")
+}
+
+func BenchmarkScenarioSteadyPoisson(b *testing.B) { runScenario(b, "steady-poisson") }
+func BenchmarkScenarioFlashCrowd(b *testing.B)   { runScenario(b, "flash-crowd") }
+func BenchmarkScenarioCrashWave(b *testing.B)    { runScenario(b, "crash-wave") }
+func BenchmarkScenarioKillBest(b *testing.B)     { runScenario(b, "kill-best") }
+func BenchmarkScenarioPartitionHeal(b *testing.B) {
+	runScenario(b, "partition-heal")
+}
+func BenchmarkScenarioHotspot(b *testing.B)   { runScenario(b, "hotspot") }
+func BenchmarkScenarioMixedLoad(b *testing.B) { runScenario(b, "mixed-load") }
+func BenchmarkScenarioDegradedNetwork(b *testing.B) {
+	runScenario(b, "degraded-network")
 }
 
 // --- Ablations: design choices called out in DESIGN.md ---

@@ -12,6 +12,13 @@
 // fig6 (noise sweeps), s1 (run statistics), s2 (200-node validation),
 // a1 (gossip-based ranking extension), a2 (churn extension), map (Fig. 4
 // per-connection plot data), all.
+//
+// Beyond the paper's fixed workloads, the scenario subcommand plays
+// declarative scenarios — composable traffic generators, churn schedules
+// and network dynamics — and prints JSON metrics:
+//
+//	emucast scenario -f <file.json>
+//	emucast scenario <builtin>           (see `emucast scenario -list`)
 package main
 
 import (
@@ -34,6 +41,9 @@ func main() {
 // run parses args and executes the selected experiment, writing results to
 // out. It is separated from main for testability.
 func run(args []string, out, errOut io.Writer) error {
+	if len(args) > 0 && args[0] == "scenario" {
+		return runScenario(args[1:], out, errOut)
+	}
 	fs := flag.NewFlagSet("emucast", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
@@ -45,7 +55,8 @@ func run(args []string, out, errOut io.Writer) error {
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(errOut,
-			"usage: emucast [flags] {t1|fig4|fig5a|fig5b|fig5c|fig6|s1|s2|a1|a2|map|all}\n")
+			"usage: emucast [flags] {t1|fig4|fig5a|fig5b|fig5c|fig6|s1|s2|a1|a2|map|all}\n"+
+				"       emucast scenario [flags] {-f <file.json> | <builtin>}\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {

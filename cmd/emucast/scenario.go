@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"emcast/internal/scenario"
+)
+
+// runScenario implements the `emucast scenario` subcommand: it loads a
+// declarative scenario — from a JSON file via -f, or a builtin archetype
+// by name — plays it on the simulator, and prints the JSON report.
+func runScenario(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("emucast scenario", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		file  = fs.String("f", "", "scenario JSON file (alternative to a builtin name)")
+		list  = fs.Bool("list", false, "list builtin scenarios and exit")
+		dump  = fs.Bool("dump", false, "print the scenario spec JSON instead of running it")
+		text  = fs.Bool("text", false, "print a human-readable summary instead of JSON")
+		nodes = fs.Int("nodes", 0, "override the initial overlay size")
+		seed  = fs.Int64("seed", 0, "override the scenario seed")
+		scale = fs.Int("scale", 0, "override the topology scale-down factor")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(errOut, "usage: emucast scenario [flags] {-f <file.json> | <builtin>}\n")
+		fmt.Fprintf(errOut, "builtins: %s\n", strings.Join(scenario.BuiltinNames(), " "))
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, n := range scenario.BuiltinNames() {
+			fmt.Fprintln(out, n)
+		}
+		return nil
+	}
+
+	var spec scenario.Spec
+	switch {
+	case *file != "" && fs.NArg() == 0:
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		spec, err = scenario.Parse(f)
+		if err != nil {
+			return fmt.Errorf("%s: %v", *file, err)
+		}
+	case *file == "" && fs.NArg() == 1:
+		var err error
+		spec, err = scenario.Builtin(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+	default:
+		fs.Usage()
+		return fmt.Errorf("expected exactly one of -f <file.json> or a builtin name")
+	}
+
+	if *nodes > 0 {
+		spec.Nodes = *nodes
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	if *scale > 0 {
+		spec.TopologyScale = *scale
+	}
+
+	if *dump {
+		enc, err := json.MarshalIndent(spec, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s\n", enc)
+		return nil
+	}
+
+	eng, err := scenario.New(spec)
+	if err != nil {
+		return err
+	}
+	rep, err := eng.Run()
+	if err != nil {
+		return err
+	}
+	if *text {
+		fmt.Fprint(out, rep.String())
+		return nil
+	}
+	enc, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s\n", enc)
+	return nil
+}

@@ -1,0 +1,9 @@
+package main
+
+import "testing"
+
+// TestCompiles is a compile smoke test: building this test binary forces
+// the example to compile under `go test ./...`, so CI catches API drift
+// in example code (example dirs are excluded from `go build ./...`-only
+// pipelines on some setups and previously had no test files at all).
+func TestCompiles(t *testing.T) {}

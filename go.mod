@@ -1,0 +1,3 @@
+module emcast
+
+go 1.24

@@ -59,6 +59,16 @@ type Network struct {
 	silenced []bool
 	linkBusy map[linkKey]time.Duration
 
+	// Dynamic conditions (scenario-driven network dynamics). latFactor
+	// scales and extraLat shifts the propagation delay of future frames;
+	// group/partitioned implement partitions: frames crossing group
+	// boundaries are dropped, including frames already in flight when the
+	// partition starts (the link is cut under them).
+	latFactor   float64
+	extraLat    time.Duration
+	group       []int
+	partitioned bool
+
 	// Counters for run statistics (paper §5.4).
 	FramesSent      uint64
 	FramesDelivered uint64
@@ -71,12 +81,14 @@ type linkKey struct{ from, to int }
 // New creates a network of n nodes with the given one-way latency model.
 func New(n int, latency LatencyFunc, cfg Config) *Network {
 	return &Network{
-		cfg:      cfg,
-		latency:  latency,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		handlers: make([]Handler, n),
-		silenced: make([]bool, n),
-		linkBusy: make(map[linkKey]time.Duration),
+		cfg:       cfg,
+		latency:   latency,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		handlers:  make([]Handler, n),
+		silenced:  make([]bool, n),
+		linkBusy:  make(map[linkKey]time.Duration),
+		latFactor: 1,
+		group:     make([]int, n),
 	}
 }
 
@@ -104,12 +116,85 @@ func (n *Network) Silenced(node int) bool { return n.silenced[node] }
 // Restore re-enables traffic for a previously silenced node.
 func (n *Network) Restore(node int) { n.silenced[node] = false }
 
+// SetLatencyFactor scales the propagation delay of frames sent from now on
+// by f (1 restores the base model). It emulates path inflation — congested
+// backbones, rerouting after a link failure — without rebuilding the
+// topology. Factors <= 0 are treated as 1.
+func (n *Network) SetLatencyFactor(f float64) {
+	if f <= 0 {
+		f = 1
+	}
+	n.latFactor = f
+}
+
+// LatencyFactor returns the current propagation-delay scale factor.
+func (n *Network) LatencyFactor() float64 { return n.latFactor }
+
+// SetExtraLatency adds a constant delay to frames sent from now on (0
+// restores the base model), emulating a uniform latency shift such as an
+// access-link change. Negative values are treated as 0.
+func (n *Network) SetExtraLatency(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	n.extraLat = d
+}
+
+// ExtraLatency returns the current constant delay shift.
+func (n *Network) ExtraLatency() time.Duration { return n.extraLat }
+
+// SetLoss replaces the frame loss probability for frames sent from now on,
+// emulating loss spikes. Values outside [0, 1] are clamped.
+func (n *Network) SetLoss(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	n.cfg.Loss = p
+}
+
+// Loss returns the current frame loss probability.
+func (n *Network) Loss() float64 { return n.cfg.Loss }
+
+// Partition splits the network: nodes listed in different groups cannot
+// exchange frames until Heal is called. Nodes absent from every group form
+// one implicit extra group together, so Partition([][]int{{0, 1, 2}})
+// isolates nodes 0-2 from everyone else. Frames already in flight across a
+// new boundary are dropped on arrival — the cut severs them mid-path, as a
+// real partition would. A new call replaces any previous partition.
+func (n *Network) Partition(groups [][]int) {
+	for i := range n.group {
+		n.group[i] = 0
+	}
+	for g, nodes := range groups {
+		for _, node := range nodes {
+			if node >= 0 && node < len(n.group) {
+				n.group[node] = g + 1
+			}
+		}
+	}
+	n.partitioned = true
+}
+
+// Heal removes the current partition; traffic flows freely again.
+func (n *Network) Heal() { n.partitioned = false }
+
+// Partitioned reports whether a partition is currently active.
+func (n *Network) Partitioned() bool { return n.partitioned }
+
+// cut reports whether a partition currently separates the two nodes.
+func (n *Network) cut(from, to int) bool {
+	return n.partitioned && n.group[from] != n.group[to]
+}
+
 // Send transmits a frame from one node to another, applying loss,
 // serialisation and propagation delay. The frame is copied, so callers may
 // reuse the buffer.
 func (n *Network) Send(from, to int, frame []byte) {
 	n.FramesSent++
-	if n.silenced[from] || n.silenced[to] {
+	if n.silenced[from] || n.silenced[to] || n.cut(from, to) {
 		n.FramesLost++
 		return
 	}
@@ -128,6 +213,10 @@ func (n *Network) Send(from, to int, frame []byte) {
 		n.linkBusy[key] = depart
 	}
 	delay := n.latency(from, to)
+	if n.latFactor != 1 {
+		delay = time.Duration(float64(delay) * n.latFactor)
+	}
+	delay += n.extraLat
 	if n.cfg.Jitter > 0 {
 		delay += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
 	}
@@ -174,7 +263,7 @@ func (n *Network) Step() bool {
 		n.now = ev.at
 		switch ev.kind {
 		case evDeliver:
-			if n.silenced[ev.from] || n.silenced[ev.to] {
+			if n.silenced[ev.from] || n.silenced[ev.to] || n.cut(ev.from, ev.to) {
 				n.FramesLost++
 				continue
 			}

@@ -323,3 +323,120 @@ func TestMaxEventsSafetyValve(t *testing.T) {
 		t.Fatalf("steps = %d, want 100 (bounded)", steps)
 	}
 }
+
+func TestLatencyFactorScalesDelay(t *testing.T) {
+	n := New(2, constLatency(10*time.Millisecond), Config{})
+	rec := &recorder{net: n}
+	n.Register(1, rec)
+	n.SetLatencyFactor(3)
+	n.Send(0, 1, []byte("x"))
+	n.RunUntilIdle(0)
+	if rec.frames[0].at != 30*time.Millisecond {
+		t.Fatalf("delivered at %v, want 30ms under factor 3", rec.frames[0].at)
+	}
+	// Restoring the factor affects only future frames.
+	n.SetLatencyFactor(1)
+	n.Send(0, 1, []byte("y"))
+	n.RunUntilIdle(0)
+	if got := rec.frames[1].at - rec.frames[0].at; got != 10*time.Millisecond {
+		t.Fatalf("second frame took %v, want 10ms after restore", got)
+	}
+	// Non-positive factors fall back to the base model.
+	n.SetLatencyFactor(-2)
+	if n.LatencyFactor() != 1 {
+		t.Fatalf("LatencyFactor = %v after non-positive set, want 1", n.LatencyFactor())
+	}
+}
+
+func TestExtraLatencyShiftsDelay(t *testing.T) {
+	n := New(2, constLatency(10*time.Millisecond), Config{})
+	rec := &recorder{net: n}
+	n.Register(1, rec)
+	n.SetExtraLatency(15 * time.Millisecond)
+	n.Send(0, 1, []byte("x"))
+	n.RunUntilIdle(0)
+	if rec.frames[0].at != 25*time.Millisecond {
+		t.Fatalf("delivered at %v, want 25ms with 15ms shift", rec.frames[0].at)
+	}
+	n.SetExtraLatency(-time.Second)
+	if n.ExtraLatency() != 0 {
+		t.Fatalf("ExtraLatency = %v after negative set, want 0", n.ExtraLatency())
+	}
+}
+
+func TestSetLossDropsFrames(t *testing.T) {
+	n := New(2, constLatency(time.Millisecond), Config{Seed: 42})
+	rec := &recorder{net: n}
+	n.Register(1, rec)
+	n.SetLoss(1)
+	for i := 0; i < 10; i++ {
+		n.Send(0, 1, []byte("x"))
+	}
+	n.RunUntilIdle(0)
+	if len(rec.frames) != 0 {
+		t.Fatalf("delivered %d frames under loss 1, want 0", len(rec.frames))
+	}
+	if n.FramesLost != 10 {
+		t.Fatalf("FramesLost = %d, want 10", n.FramesLost)
+	}
+	n.SetLoss(0)
+	n.Send(0, 1, []byte("y"))
+	n.RunUntilIdle(0)
+	if len(rec.frames) != 1 {
+		t.Fatalf("delivered %d frames after loss cleared, want 1", len(rec.frames))
+	}
+	n.SetLoss(7)
+	if n.Loss() != 1 {
+		t.Fatalf("Loss = %v after out-of-range set, want clamp to 1", n.Loss())
+	}
+}
+
+func TestPartitionBlocksCrossGroupTraffic(t *testing.T) {
+	n := New(4, constLatency(time.Millisecond), Config{})
+	recs := make([]*recorder, 4)
+	for i := range recs {
+		recs[i] = &recorder{net: n}
+		n.Register(i, recs[i])
+	}
+	// {0,1} vs implicit rest {2,3}.
+	n.Partition([][]int{{0, 1}})
+	if !n.Partitioned() {
+		t.Fatal("Partitioned() = false after Partition")
+	}
+	n.Send(0, 1, []byte("same side"))
+	n.Send(2, 3, []byte("other side"))
+	n.Send(0, 2, []byte("cross"))
+	n.Send(3, 1, []byte("cross"))
+	n.RunUntilIdle(0)
+	if len(recs[1].frames) != 1 || len(recs[3].frames) != 1 {
+		t.Fatalf("intra-group frames = %d,%d, want 1,1", len(recs[1].frames), len(recs[3].frames))
+	}
+	if len(recs[2].frames) != 0 {
+		t.Fatal("cross-partition frame delivered")
+	}
+	if n.FramesLost != 2 {
+		t.Fatalf("FramesLost = %d, want 2", n.FramesLost)
+	}
+	n.Heal()
+	n.Send(0, 2, []byte("healed"))
+	n.RunUntilIdle(0)
+	if len(recs[2].frames) != 1 {
+		t.Fatal("frame not delivered after Heal")
+	}
+}
+
+func TestPartitionCutsInFlightFrames(t *testing.T) {
+	n := New(2, constLatency(10*time.Millisecond), Config{})
+	rec := &recorder{net: n}
+	n.Register(1, rec)
+	n.Send(0, 1, []byte("in flight"))
+	// Partition starts while the frame is on the wire: it must be cut.
+	n.AfterFunc(time.Millisecond, func() { n.Partition([][]int{{0}}) })
+	n.RunUntilIdle(0)
+	if len(rec.frames) != 0 {
+		t.Fatal("in-flight frame survived a partition cut")
+	}
+	if n.FramesLost != 1 {
+		t.Fatalf("FramesLost = %d, want 1", n.FramesLost)
+	}
+}

@@ -1,0 +1,183 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// sec is a Duration literal helper for builtin specs.
+func sec(s float64) Duration { return Duration(s * float64(time.Second)) }
+
+// builtins are named, full-size scenario archetypes. They double as
+// living documentation of the spec format; `emucast scenario <name>` runs
+// them and `emucast scenario -dump <name>` prints their JSON.
+var builtins = map[string]func() Spec{
+	// steady-poisson: the baseline — Poisson arrivals at 2 msg/s over a
+	// warm overlay, split in two phases so the emergent link share can
+	// be compared over time (it should be stable).
+	"steady-poisson": func() Spec {
+		traffic := []TrafficSpec{{Kind: TrafficPoisson, Rate: 2, Senders: SendersUniform}}
+		return Spec{
+			Name:     "steady-poisson",
+			Strategy: "ranked",
+			Phases: []Phase{
+				{Name: "first-half", Duration: sec(60), Traffic: traffic},
+				{Name: "second-half", Duration: sec(60), Traffic: traffic},
+			},
+		}
+	},
+	// flash-crowd: half the overlay size again joins at one instant
+	// while a bursty on/off load spikes — the join path and the payload
+	// scheduler are stressed together.
+	"flash-crowd": func() Spec {
+		steady := []TrafficSpec{{Kind: TrafficPoisson, Rate: 2}}
+		return Spec{
+			Name:     "flash-crowd",
+			Strategy: "ttl",
+			Phases: []Phase{
+				{Name: "steady", Duration: sec(60), Traffic: steady},
+				{
+					Name:     "crowd",
+					Duration: sec(60),
+					Traffic: []TrafficSpec{{
+						Kind: TrafficBurst, Rate: 8,
+						OnPeriod: sec(2), OffPeriod: sec(6),
+					}},
+					Churn: []ChurnSpec{{Kind: ChurnFlashCrowd, Fraction: 0.5, At: sec(5)}},
+				},
+				{Name: "aftermath", Duration: sec(60), Traffic: steady},
+			},
+		}
+	},
+	// crash-wave: 30% of the overlay crashes across a 20 s window while
+	// traffic keeps flowing — the §6.3 random failure mode as a wave
+	// instead of an instant.
+	"crash-wave": func() Spec {
+		traffic := []TrafficSpec{{Kind: TrafficPoisson, Rate: 2, Senders: SendersUniform}}
+		return Spec{
+			Name:     "crash-wave",
+			Strategy: "ranked",
+			Phases: []Phase{
+				{Name: "steady", Duration: sec(60), Traffic: traffic},
+				{
+					Name: "crashes", Duration: sec(60), Traffic: traffic,
+					Churn: []ChurnSpec{{Kind: ChurnCrashWave, Fraction: 0.3, At: sec(10), Over: sec(20)}},
+				},
+				{Name: "aftermath", Duration: sec(60), Traffic: traffic},
+			},
+		}
+	},
+	// kill-best: the best-ranked nodes — precisely those carrying the
+	// emergent structure — are killed one by one (§6.3 generalised).
+	"kill-best": func() Spec {
+		traffic := []TrafficSpec{{Kind: TrafficPoisson, Rate: 2, Senders: SendersUniform}}
+		return Spec{
+			Name:     "kill-best",
+			Strategy: "ranked",
+			Phases: []Phase{
+				{Name: "steady", Duration: sec(60), Traffic: traffic},
+				{
+					Name: "targeted", Duration: sec(60), Traffic: traffic,
+					Churn: []ChurnSpec{{Kind: ChurnKillBest, Fraction: 0.2, At: sec(10), Over: sec(30)}},
+				},
+				{Name: "aftermath", Duration: sec(60), Traffic: traffic},
+			},
+		}
+	},
+	// partition-heal: the network splits in two halves mid-run, then
+	// heals; deliveries during the partition are bounded by the side
+	// sizes, and the overlay must re-knit afterwards.
+	"partition-heal": func() Spec {
+		traffic := []TrafficSpec{{Kind: TrafficPoisson, Rate: 2, Senders: SendersUniform}}
+		return Spec{
+			Name:     "partition-heal",
+			Strategy: "eager",
+			Phases: []Phase{
+				{Name: "steady", Duration: sec(45), Traffic: traffic},
+				{
+					Name: "partitioned", Duration: sec(45), Traffic: traffic,
+					Network: []NetEvent{{At: sec(5), Kind: NetPartition, Split: 0.5}},
+				},
+				{
+					Name: "healed", Duration: sec(45), Traffic: traffic,
+					Network: []NetEvent{{Kind: NetHeal}},
+				},
+			},
+		}
+	},
+	// hotspot: a zipf law concentrates sending on a few origins — the
+	// workload most sensitive to where the emergent structure forms.
+	"hotspot": func() Spec {
+		return Spec{
+			Name:     "hotspot",
+			Strategy: "hybrid",
+			Phases: []Phase{{
+				Name: "zipf", Duration: sec(120),
+				Traffic: []TrafficSpec{{Kind: TrafficPoisson, Rate: 3, Senders: SendersZipf, ZipfS: 1.5}},
+			}},
+		}
+	},
+	// mixed-load: frequent small messages plus a rare large-payload
+	// stream (16-64 KiB), exercising bandwidth-sensitive scheduling.
+	"mixed-load": func() Spec {
+		return Spec{
+			Name:     "mixed-load",
+			Strategy: "hybrid",
+			Phases: []Phase{{
+				Name: "mixed", Duration: sec(120),
+				Traffic: []TrafficSpec{
+					{Kind: TrafficPoisson, Rate: 4, Senders: SendersUniform},
+					{Kind: TrafficConstant, Rate: 0.2, PayloadSize: 16 << 10, PayloadMax: 64 << 10},
+				},
+			}},
+		}
+	},
+	// degraded-network: latency triples, then a loss spike, then both
+	// recover — network dynamics without any churn.
+	"degraded-network": func() Spec {
+		traffic := []TrafficSpec{{Kind: TrafficPoisson, Rate: 2, Senders: SendersUniform}}
+		return Spec{
+			Name:     "degraded-network",
+			Strategy: "radius",
+			Phases: []Phase{
+				{Name: "baseline", Duration: sec(45), Traffic: traffic},
+				{
+					Name: "degraded", Duration: sec(45), Traffic: traffic,
+					Network: []NetEvent{
+						{Kind: NetLatencyFactor, Factor: 3},
+						{At: sec(15), Kind: NetLoss, Loss: 0.05},
+					},
+				},
+				{
+					Name: "recovered", Duration: sec(45), Traffic: traffic,
+					Network: []NetEvent{
+						{Kind: NetLatencyFactor, Factor: 1},
+						{Kind: NetLoss, Loss: 0},
+					},
+				},
+			},
+		}
+	},
+}
+
+// Builtin returns the named builtin scenario with defaults applied.
+func Builtin(name string) (Spec, error) {
+	f, ok := builtins[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("scenario: unknown builtin %q (have %v)", name, BuiltinNames())
+	}
+	spec := f()
+	spec.fill()
+	return spec, nil
+}
+
+// BuiltinNames lists the builtin scenarios, sorted.
+func BuiltinNames() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,108 @@
+package scenario
+
+import "time"
+
+// scheduleChurn installs one churn event of the current phase on the
+// virtual clock. Waves spread their k sub-events evenly across the Over
+// window (the i-th fires at At + Over*i/k); with Over zero the wave is
+// instantaneous. Node picks happen at fire time against the then-current
+// live set, so overlapping waves compose naturally.
+func (e *Engine) scheduleChurn(c *ChurnSpec) {
+	net := e.runner.Network()
+	k := e.spec.churnCount(c)
+	switch c.Kind {
+	case ChurnFlashCrowd:
+		joiners := e.takeJoiners(k)
+		net.AfterFunc(c.At.D(), func() {
+			for _, j := range joiners {
+				e.join(j)
+			}
+		})
+	case ChurnJoinWave:
+		joiners := e.takeJoiners(k)
+		for i, j := range joiners {
+			j := j
+			net.AfterFunc(c.At.D()+stagger(i, k, c.Over.D()), func() { e.join(j) })
+		}
+	case ChurnLeaveWave:
+		for i := 0; i < k; i++ {
+			net.AfterFunc(c.At.D()+stagger(i, k, c.Over.D()), func() { e.killRandom(true) })
+		}
+	case ChurnCrashWave:
+		for i := 0; i < k; i++ {
+			net.AfterFunc(c.At.D()+stagger(i, k, c.Over.D()), func() { e.killRandom(false) })
+		}
+	case ChurnKillBest:
+		for i := 0; i < k; i++ {
+			net.AfterFunc(c.At.D()+stagger(i, k, c.Over.D()), func() { e.killBest() })
+		}
+	}
+}
+
+// stagger spaces sub-event i of k evenly over a window.
+func stagger(i, k int, over time.Duration) time.Duration {
+	if k <= 0 || over <= 0 {
+		return 0
+	}
+	return over * time.Duration(i) / time.Duration(k)
+}
+
+// takeJoiners hands out the next k provisioned joiner node indices.
+func (e *Engine) takeJoiners(k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = e.nextJoiner
+		e.nextJoiner++
+	}
+	return out
+}
+
+// join brings a provisioned node into the overlay through a random live
+// contact. With nothing live to contact the join is dropped — there is no
+// overlay left to join.
+func (e *Engine) join(node int) {
+	live := e.runner.Live()
+	if len(live) == 0 {
+		return
+	}
+	e.runner.Join(node, live[e.rng.Intn(len(live))])
+	e.joined++
+}
+
+// killRandom removes one random live initial node — gracefully when leave
+// is set, as a crash otherwise. (Under the paper's unreliable transport
+// the two look identical on the wire; they are kept distinct for intent
+// and future announced-departure protocols.)
+func (e *Engine) killRandom(leave bool) {
+	live := e.runner.Live()
+	if len(live) <= 1 {
+		return // never remove the last node
+	}
+	victim := live[e.rng.Intn(len(live))]
+	if leave {
+		e.runner.Leave(victim)
+	} else {
+		e.runner.Fail(victim)
+	}
+}
+
+// killBest crashes the best-ranked node still alive — the paper's §6.3
+// targeted failure mode ("precisely those that are contributing more to
+// the dissemination effort"), generalised to a timed schedule.
+func (e *Engine) killBest() {
+	live := 0
+	for _, n := range e.ranked {
+		if !e.runner.Failed(n) {
+			live++
+		}
+	}
+	if live <= 1 {
+		return
+	}
+	for _, n := range e.ranked {
+		if !e.runner.Failed(n) {
+			e.runner.Fail(n)
+			return
+		}
+	}
+}

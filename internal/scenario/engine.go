@@ -1,0 +1,207 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"emcast/internal/sim"
+	"emcast/internal/topology"
+	"emcast/internal/trace"
+)
+
+// Engine plays a Spec against a simulated deployment. Build one with New,
+// run it once with Run.
+type Engine struct {
+	spec   Spec
+	runner *sim.Runner
+	rng    *rand.Rand
+	ranked []int // initial nodes, best-first (oracle order)
+
+	nextJoiner int   // next provisioned joiner index to hand out
+	joined     int   // joiners that have entered the overlay
+	cur        int   // current phase index while running
+	skipped    []int // per-phase sends skipped because the source was dead
+	ran        bool
+}
+
+// New validates the spec (after applying defaults) and assembles the
+// simulation behind it.
+func New(spec Spec) (*Engine, error) {
+	spec.fill()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cfg, err := simConfig(&spec)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		spec:       spec,
+		runner:     sim.New(cfg),
+		rng:        rand.New(rand.NewSource(spec.Seed ^ 0x5ce9a5105ce9a510)),
+		nextJoiner: spec.Nodes,
+		skipped:    make([]int, len(spec.Phases)),
+	}
+	for _, id := range e.runner.RankedNodes() {
+		e.ranked = append(e.ranked, int(id))
+	}
+	return e, nil
+}
+
+// simConfig maps the declarative spec onto a simulation configuration.
+func simConfig(spec *Spec) (sim.Config, error) {
+	cfg := sim.DefaultConfig()
+	cfg.Nodes = spec.Nodes
+	cfg.Seed = spec.Seed
+	cfg.TTLRounds = spec.TTLRounds
+	cfg.RadiusQuantile = spec.RadiusQuantile
+	cfg.BestFraction = spec.BestFraction
+	cfg.Noise = spec.Noise
+	cfg.Loss = spec.Loss
+	cfg.UseGossipRanking = spec.GossipRanking
+	cfg.LateJoiners = spec.Joiners()
+	cfg.Drain = spec.Drain.D()
+	switch spec.Strategy {
+	case "eager":
+		cfg.Strategy, cfg.FlatP = sim.StrategyFlat, 1.0
+	case "lazy":
+		cfg.Strategy, cfg.FlatP = sim.StrategyFlat, 0.0
+	case "flat":
+		cfg.Strategy = sim.StrategyFlat
+		cfg.FlatP = spec.FlatP
+		if cfg.FlatP <= 0 {
+			cfg.FlatP = 0.5
+		}
+	case "ttl":
+		cfg.Strategy = sim.StrategyTTL
+	case "radius":
+		cfg.Strategy = sim.StrategyRadius
+	case "ranked":
+		cfg.Strategy = sim.StrategyRanked
+	case "hybrid":
+		cfg.Strategy = sim.StrategyHybrid
+	default:
+		return cfg, fmt.Errorf("scenario: unknown strategy %q", spec.Strategy)
+	}
+	if spec.TopologyScale > 1 {
+		tp := topology.DefaultParams().Scaled(spec.TopologyScale)
+		cfg.Topology = &tp
+	}
+	return cfg, nil
+}
+
+// Runner exposes the simulation under the engine (tests and tooling).
+func (e *Engine) Runner() *sim.Runner { return e.runner }
+
+// boundary captures the cumulative state at a phase edge, so per-phase
+// interval counters fall out as diffs of adjacent boundaries.
+type boundary struct {
+	at         time.Duration
+	snap       trace.Snapshot
+	framesSent uint64
+	framesLost uint64
+	live       int
+}
+
+func (e *Engine) boundary() boundary {
+	net := e.runner.Network()
+	return boundary{
+		at:         net.Now(),
+		snap:       e.runner.Snapshot(),
+		framesSent: net.FramesSent,
+		framesLost: net.FramesLost,
+		live:       len(e.runner.Live()) + e.joined,
+	}
+}
+
+// Run warms the overlay up, plays every phase back to back, drains, and
+// reports overall and per-phase metrics. It can only be called once.
+func (e *Engine) Run() (*Report, error) {
+	if e.ran {
+		return nil, fmt.Errorf("scenario: engine already ran")
+	}
+	e.ran = true
+	e.runner.Warmup()
+
+	bounds := make([]boundary, 0, len(e.spec.Phases)+1)
+	bounds = append(bounds, e.boundary())
+	starts := make([]time.Duration, len(e.spec.Phases))
+	for i := range e.spec.Phases {
+		e.cur = i
+		p := &e.spec.Phases[i]
+		starts[i] = e.runner.Network().Now()
+		e.schedulePhase(p)
+		e.runner.RunFor(p.Duration.D())
+		if i == len(e.spec.Phases)-1 {
+			// The drain belongs to the last phase's interval, so its
+			// in-flight recoveries are accounted somewhere.
+			e.runner.RunFor(e.spec.Drain.D())
+		}
+		bounds = append(bounds, e.boundary())
+	}
+	return e.report(starts, bounds), nil
+}
+
+// schedulePhase installs every traffic arrival, churn event and network
+// event of the phase on the virtual clock. All offsets are < the phase
+// duration, so everything fires during this phase's RunFor.
+func (e *Engine) schedulePhase(p *Phase) {
+	net := e.runner.Network()
+	for i := range p.Traffic {
+		t := &p.Traffic[i]
+		// Each stream draws from its own RNG, seeded by (scenario seed,
+		// phase, stream), so schedules are independent and reproducible.
+		st := newStream(t, e.spec.Seed^int64(e.cur+1)<<24^int64(i+1)<<16, e.spec.Nodes)
+		for _, at := range st.arrivals(p.Duration.D()) {
+			net.AfterFunc(at, func() { e.fire(st) })
+		}
+	}
+	for i := range p.Churn {
+		e.scheduleChurn(&p.Churn[i])
+	}
+	for i := range p.Network {
+		ev := p.Network[i]
+		net.AfterFunc(ev.At.D(), func() { e.applyNetEvent(&ev) })
+	}
+}
+
+// fire sends one message of a stream, or counts a skip when the chosen
+// source is dead.
+func (e *Engine) fire(st *stream) {
+	live := e.runner.Live()
+	node, ok := st.pickSender(live, func(n int) bool { return !e.runner.Failed(n) })
+	if !ok {
+		e.skipped[e.cur]++
+		return
+	}
+	e.runner.MulticastFrom(node, st.payload())
+}
+
+// applyNetEvent applies one network-dynamics event.
+func (e *Engine) applyNetEvent(ev *NetEvent) {
+	net := e.runner.Network()
+	switch ev.Kind {
+	case NetLatencyFactor:
+		net.SetLatencyFactor(ev.Factor)
+	case NetExtraLatency:
+		net.SetExtraLatency(ev.Extra.D())
+	case NetLoss:
+		net.SetLoss(ev.Loss)
+	case NetPartition:
+		groups := ev.Groups
+		if len(groups) == 0 {
+			// Split shorthand: the first Split fraction of the initial
+			// nodes against everyone else (joiners included).
+			k := int(ev.Split*float64(e.spec.Nodes) + 0.5)
+			side := make([]int, k)
+			for i := range side {
+				side[i] = i
+			}
+			groups = [][]int{side}
+		}
+		net.Partition(groups)
+	case NetHeal:
+		net.Heal()
+	}
+}

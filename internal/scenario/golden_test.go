@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenScenario locks the whole pipeline down: the sample spec must
+// round-trip through JSON unchanged and produce byte-identical aggregate
+// metrics run after run. A diff here means scenario semantics changed —
+// regenerate with `go test ./internal/scenario -run Golden -update` and
+// review the metric drift like any other behavioural change.
+func TestGoldenScenario(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Parse(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip: marshalling the parsed spec and re-parsing it must
+	// yield the same spec (defaults are stable under re-application).
+	enc, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, err := Parse(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatalf("re-parse of marshalled spec: %v", err)
+	}
+	enc2, err := json.Marshal(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatalf("spec does not round-trip:\n%s\n--- vs ---\n%s", enc, enc2)
+	}
+
+	rep := run(t, spec)
+	got, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	goldenPath := filepath.Join("testdata", "golden.report.json")
+	if *update {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("report drifted from golden file (run with -update to accept):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,179 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"emcast/internal/sim"
+)
+
+// Metrics are the measures reported for a whole run or one phase,
+// mirroring the paper's evaluation quantities. Latency, delivery and
+// payload/msg figures are message-scoped: attributed to the messages
+// multicast in the interval, even when their retransmissions settle later.
+// Transmission counters (eager/lazy/control/duplicates/frames) and the
+// emergent-structure link share are interval-scoped: everything that
+// crossed the wire during the interval.
+type Metrics struct {
+	MessagesSent int `json:"messages_sent"`
+	// SkippedSends counts scheduled messages whose source was dead at
+	// send time (hotspot killed, whole population crashed).
+	SkippedSends int `json:"skipped_sends,omitempty"`
+	Deliveries   int `json:"deliveries"`
+	// DeliveryRate is the mean fraction of live initial nodes reached
+	// per message; AtomicRate the fraction of messages reaching all.
+	DeliveryRate float64 `json:"delivery_rate"`
+	AtomicRate   float64 `json:"atomic_rate"`
+	// JoinerCoverage is the mean fraction of post-join messages each
+	// joiner delivered (overall only; 1 without join churn).
+	JoinerCoverage float64 `json:"joiner_coverage,omitempty"`
+
+	MeanLatencyMS float64 `json:"mean_latency_ms"`
+	P50LatencyMS  float64 `json:"p50_latency_ms"`
+	P95LatencyMS  float64 `json:"p95_latency_ms"`
+
+	// PayloadPerMsg is payload transmissions per delivery (1 optimal,
+	// fanout the eager worst case).
+	PayloadPerMsg float64 `json:"payload_per_msg"`
+
+	EagerPayloads int `json:"eager_payloads"`
+	LazyPayloads  int `json:"lazy_payloads"`
+	PayloadBytes  int `json:"payload_bytes"`
+	ControlFrames int `json:"control_frames"`
+	Duplicates    int `json:"duplicates"`
+
+	// Top5LinkShare is the share of interval payload traffic on the 5%
+	// most used connections — the emergent-structure measure, tracked
+	// over time across phases.
+	Top5LinkShare float64 `json:"top5_link_share"`
+
+	FramesSent uint64 `json:"frames_sent"`
+	FramesLost uint64 `json:"frames_lost"`
+
+	// LiveNodes is the overlay size at the end of the interval (live
+	// initial nodes plus joined joiners).
+	LiveNodes int `json:"live_nodes"`
+}
+
+// PhaseReport carries one phase's window and metrics.
+type PhaseReport struct {
+	Name    string  `json:"name"`
+	StartMS float64 `json:"start_ms"`
+	EndMS   float64 `json:"end_ms"`
+	Metrics Metrics `json:"metrics"`
+}
+
+// Report is the result of one scenario run.
+type Report struct {
+	Scenario string        `json:"scenario"`
+	Seed     int64         `json:"seed"`
+	Strategy string        `json:"strategy"`
+	Nodes    int           `json:"nodes"`
+	Joiners  int           `json:"joiners"`
+	Elapsed  Duration      `json:"elapsed"`
+	Overall  Metrics       `json:"overall"`
+	Phases   []PhaseReport `json:"phases"`
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// String renders a human-readable summary: one line per phase plus the
+// overall line.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s: strategy=%s nodes=%d joiners=%d seed=%d elapsed=%v\n",
+		r.Scenario, r.Strategy, r.Nodes, r.Joiners, r.Seed, r.Elapsed.D().Round(time.Millisecond))
+	for _, p := range r.Phases {
+		fmt.Fprintf(&b, "  %-14s %s\n", p.Name, p.Metrics.line())
+	}
+	fmt.Fprintf(&b, "  %-14s %s\n", "overall", r.Overall.line())
+	return b.String()
+}
+
+func (m Metrics) line() string {
+	return fmt.Sprintf(
+		"msgs=%d deliveries=%.1f%% atomic=%.1f%% latency=%.0f/%.0fms payload/msg=%.2f top5=%.1f%% live=%d",
+		m.MessagesSent, 100*m.DeliveryRate, 100*m.AtomicRate,
+		m.MeanLatencyMS, m.P95LatencyMS, m.PayloadPerMsg, 100*m.Top5LinkShare, m.LiveNodes,
+	)
+}
+
+// report assembles the final Report from the phase starts and boundaries.
+func (e *Engine) report(starts []time.Duration, bounds []boundary) *Report {
+	rep := &Report{
+		Scenario: e.spec.Name,
+		Seed:     e.spec.Seed,
+		Strategy: e.spec.Strategy,
+		Nodes:    e.spec.Nodes,
+		Joiners:  e.spec.Joiners(),
+		Elapsed:  Duration(e.runner.Network().Now()),
+	}
+
+	overall := e.runner.Result()
+	rep.Overall = Metrics{
+		MessagesSent:   overall.MessagesSent,
+		Deliveries:     overall.Deliveries,
+		DeliveryRate:   overall.DeliveryRate,
+		AtomicRate:     overall.AtomicRate,
+		JoinerCoverage: overall.JoinerCoverage,
+		MeanLatencyMS:  ms(overall.MeanLatency),
+		P50LatencyMS:   ms(overall.P50Latency),
+		P95LatencyMS:   ms(overall.P95Latency),
+		PayloadPerMsg:  overall.PayloadPerMsg,
+		LiveNodes:      bounds[len(bounds)-1].live,
+	}
+	first, last := bounds[0], bounds[len(bounds)-1]
+	fillCounters(&rep.Overall, first, last)
+	for _, k := range e.skipped {
+		rep.Overall.SkippedSends += k
+	}
+
+	for i := range e.spec.Phases {
+		p := &e.spec.Phases[i]
+		prev, cur := bounds[i], bounds[i+1]
+		end := starts[i] + p.Duration.D()
+		res := e.runner.CollectWindow(starts[i], end)
+		m := Metrics{
+			MessagesSent:  res.MessagesSent,
+			SkippedSends:  e.skipped[i],
+			Deliveries:    res.Deliveries,
+			DeliveryRate:  res.DeliveryRate,
+			AtomicRate:    res.AtomicRate,
+			MeanLatencyMS: ms(res.MeanLatency),
+			P50LatencyMS:  ms(res.P50Latency),
+			P95LatencyMS:  ms(res.P95Latency),
+			PayloadPerMsg: res.PayloadPerMsg,
+			LiveNodes:     cur.live,
+		}
+		fillCounters(&m, prev, cur)
+		rep.Phases = append(rep.Phases, PhaseReport{
+			Name:    p.Name,
+			StartMS: ms(starts[i]),
+			EndMS:   ms(cur.at),
+			Metrics: m,
+		})
+	}
+	return rep
+}
+
+// fillCounters derives the interval-scoped counters between two
+// boundaries.
+func fillCounters(m *Metrics, prev, cur boundary) {
+	m.EagerPayloads = cur.snap.EagerPayloads - prev.snap.EagerPayloads
+	m.LazyPayloads = cur.snap.LazyPayloads - prev.snap.LazyPayloads
+	m.PayloadBytes = cur.snap.PayloadBytes - prev.snap.PayloadBytes
+	m.ControlFrames = cur.snap.ControlFrames - prev.snap.ControlFrames
+	m.Duplicates = cur.snap.Duplicates - prev.snap.Duplicates
+	m.FramesSent = cur.framesSent - prev.framesSent
+	m.FramesLost = cur.framesLost - prev.framesLost
+	m.Top5LinkShare = sim.LinkTopShare(prev.snap, cur.snap, 0.05)
+}
+
+func ms(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}

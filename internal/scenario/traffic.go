@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stream is the run-time state of one TrafficSpec: a dedicated RNG (so
+// streams stay independent and the schedule stays reproducible when
+// streams are added or removed), the precomputed arrival process and the
+// sender-picker state.
+type stream struct {
+	spec *TrafficSpec
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	rr   int // round-robin cursor (live list or fixed list)
+}
+
+func newStream(spec *TrafficSpec, seed int64, nodes int) *stream {
+	s := &stream{spec: spec, rng: rand.New(rand.NewSource(seed))}
+	if spec.Senders == SendersZipf {
+		s.zipf = rand.NewZipf(s.rng, spec.ZipfS, 1, uint64(nodes-1))
+	}
+	return s
+}
+
+// arrivals precomputes the stream's message times as offsets within a
+// phase of the given length, according to the arrival process.
+func (s *stream) arrivals(dur time.Duration) []time.Duration {
+	spec := s.spec
+	mean := time.Duration(float64(time.Second) / spec.Rate)
+	var out []time.Duration
+	switch spec.Kind {
+	case TrafficConstant:
+		for t := mean; t < dur; t += mean {
+			out = append(out, t)
+		}
+	case TrafficPoisson:
+		for t := s.exp(mean); t < dur; t += s.exp(mean) {
+			out = append(out, t)
+		}
+	case TrafficBurst:
+		on, off := spec.OnPeriod.D(), spec.OffPeriod.D()
+		for cycle := time.Duration(0); cycle < dur; cycle += on + off {
+			for t := cycle + s.exp(mean); t < cycle+on && t < dur; t += s.exp(mean) {
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// exp draws an exponential gap with the given mean.
+func (s *stream) exp(mean time.Duration) time.Duration {
+	return time.Duration(s.rng.ExpFloat64() * float64(mean))
+}
+
+// pickSender chooses the origin for the next message. live is the current
+// set of live initial nodes; alive reports liveness for any initial node.
+// ok is false when the message must be skipped — its source is dead (zipf
+// hotspots and fixed senders are not remapped: a dead source's traffic
+// disappears, which is exactly the effect worth measuring) or nothing is
+// live.
+func (s *stream) pickSender(live []int, alive func(int) bool) (node int, ok bool) {
+	switch s.spec.Senders {
+	case SendersUniform:
+		if len(live) == 0 {
+			return 0, false
+		}
+		return live[s.rng.Intn(len(live))], true
+	case SendersZipf:
+		node = int(s.zipf.Uint64())
+		return node, alive(node)
+	case SendersFixed:
+		node = s.spec.FixedSenders[s.rr%len(s.spec.FixedSenders)]
+		s.rr++
+		return node, alive(node)
+	default: // SendersRoundRobin
+		if len(live) == 0 {
+			return 0, false
+		}
+		node = live[s.rr%len(live)]
+		s.rr++
+		return node, true
+	}
+}
+
+// payload materialises one message payload, drawing the size uniformly
+// from [PayloadSize, PayloadMax] when a range is configured.
+func (s *stream) payload() []byte {
+	size := s.spec.PayloadSize
+	if s.spec.PayloadMax > size {
+		size += s.rng.Intn(s.spec.PayloadMax - size + 1)
+	}
+	p := make([]byte, size)
+	s.rng.Read(p)
+	return p
+}

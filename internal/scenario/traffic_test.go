@@ -1,0 +1,165 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+func alive(dead ...int) func(int) bool {
+	set := make(map[int]bool)
+	for _, d := range dead {
+		set[d] = true
+	}
+	return func(n int) bool { return !set[n] }
+}
+
+func TestConstantArrivals(t *testing.T) {
+	st := newStream(&TrafficSpec{Kind: TrafficConstant, Rate: 2}, 1, 10)
+	got := st.arrivals(10 * time.Second)
+	if len(got) != 19 {
+		t.Fatalf("constant 2/s over 10s: %d arrivals, want 19", len(got))
+	}
+	for i, at := range got {
+		want := time.Duration(i+1) * 500 * time.Millisecond
+		if at != want {
+			t.Fatalf("arrival %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	st := newStream(&TrafficSpec{Kind: TrafficPoisson, Rate: 5}, 7, 10)
+	got := st.arrivals(100 * time.Second)
+	// Mean 500; allow a generous band for a single sample path.
+	if len(got) < 350 || len(got) > 650 {
+		t.Fatalf("poisson 5/s over 100s: %d arrivals, want ~500", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("arrivals not strictly increasing at %d", i)
+		}
+	}
+	// Same seed, same schedule.
+	again := newStream(&TrafficSpec{Kind: TrafficPoisson, Rate: 5}, 7, 10).arrivals(100 * time.Second)
+	if len(again) != len(got) {
+		t.Fatalf("same seed produced %d then %d arrivals", len(got), len(again))
+	}
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("same seed diverged at arrival %d", i)
+		}
+	}
+}
+
+func TestBurstArrivalsStayInOnWindows(t *testing.T) {
+	spec := &TrafficSpec{
+		Kind: TrafficBurst, Rate: 10,
+		OnPeriod: Duration(2 * time.Second), OffPeriod: Duration(8 * time.Second),
+	}
+	st := newStream(spec, 3, 10)
+	got := st.arrivals(100 * time.Second)
+	if len(got) == 0 {
+		t.Fatal("no burst arrivals")
+	}
+	for _, at := range got {
+		phase := at % (10 * time.Second)
+		if phase >= 2*time.Second {
+			t.Fatalf("arrival at %v falls in an off-period", at)
+		}
+	}
+	// Roughly rate*on-fraction: 10/s * 20% * 100s = 200.
+	if len(got) < 120 || len(got) > 280 {
+		t.Fatalf("burst arrivals = %d, want ~200", len(got))
+	}
+}
+
+func TestRoundRobinSendersRotate(t *testing.T) {
+	st := newStream(&TrafficSpec{Kind: TrafficConstant, Rate: 1, Senders: SendersRoundRobin}, 1, 4)
+	live := []int{0, 1, 2, 3}
+	for i := 0; i < 8; i++ {
+		n, ok := st.pickSender(live, alive())
+		if !ok || n != i%4 {
+			t.Fatalf("pick %d = %d,%v, want %d,true", i, n, ok, i%4)
+		}
+	}
+	if _, ok := st.pickSender(nil, alive()); ok {
+		t.Fatal("picked a sender from an empty live set")
+	}
+}
+
+func TestUniformSendersStayLive(t *testing.T) {
+	st := newStream(&TrafficSpec{Kind: TrafficConstant, Rate: 1, Senders: SendersUniform}, 1, 10)
+	live := []int{2, 5, 7}
+	for i := 0; i < 50; i++ {
+		n, ok := st.pickSender(live, alive())
+		if !ok || (n != 2 && n != 5 && n != 7) {
+			t.Fatalf("uniform pick %d = %d,%v outside live set", i, n, ok)
+		}
+	}
+}
+
+func TestZipfSendersAreSkewedAndDieWithHotspot(t *testing.T) {
+	st := newStream(&TrafficSpec{Kind: TrafficConstant, Rate: 1, Senders: SendersZipf, ZipfS: 1.5}, 1, 100)
+	counts := make(map[int]int)
+	for i := 0; i < 2000; i++ {
+		n, ok := st.pickSender(nil, alive())
+		if !ok {
+			t.Fatal("zipf skipped with everyone alive")
+		}
+		counts[n]++
+	}
+	if counts[0] < counts[50]+100 {
+		t.Fatalf("zipf not skewed: node0=%d node50=%d", counts[0], counts[50])
+	}
+	// Kill the hotspot: its draws must be skipped, not remapped.
+	skipped := 0
+	for i := 0; i < 200; i++ {
+		if n, ok := st.pickSender(nil, alive(0)); !ok {
+			skipped++
+		} else if n == 0 {
+			t.Fatal("picked the dead hotspot")
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("dead hotspot never caused a skip")
+	}
+}
+
+func TestFixedSendersRotateAndSkipDead(t *testing.T) {
+	spec := &TrafficSpec{Kind: TrafficConstant, Rate: 1, Senders: SendersFixed, FixedSenders: []int{4, 9}}
+	st := newStream(spec, 1, 10)
+	seq := []int{4, 9, 4, 9}
+	for i, want := range seq {
+		n, ok := st.pickSender(nil, alive())
+		if !ok || n != want {
+			t.Fatalf("fixed pick %d = %d,%v, want %d,true", i, n, ok, want)
+		}
+	}
+	if _, ok := st.pickSender(nil, alive(4)); ok {
+		t.Fatal("dead fixed sender not skipped")
+	}
+}
+
+func TestPayloadSizing(t *testing.T) {
+	st := newStream(&TrafficSpec{Kind: TrafficConstant, Rate: 1, PayloadSize: 256}, 1, 10)
+	if got := len(st.payload()); got != 256 {
+		t.Fatalf("fixed payload size %d, want 256", got)
+	}
+	ranged := newStream(&TrafficSpec{Kind: TrafficConstant, Rate: 1, PayloadSize: 100, PayloadMax: 200}, 1, 10)
+	sawLow, sawHigh := false, false
+	for i := 0; i < 200; i++ {
+		got := len(ranged.payload())
+		if got < 100 || got > 200 {
+			t.Fatalf("ranged payload size %d outside [100, 200]", got)
+		}
+		if got < 120 {
+			sawLow = true
+		}
+		if got > 180 {
+			sawHigh = true
+		}
+	}
+	if !sawLow || !sawHigh {
+		t.Fatal("ranged payload sizes do not span the range")
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"emcast/internal/peer"
@@ -172,6 +173,88 @@ func (r *Runner) collect() Result {
 	return res
 }
 
+// CollectWindow derives metrics restricted to the messages multicast in
+// the virtual-time window [from, to). Latency, delivery and payload
+// figures are attributed to the exact window messages (payload counts via
+// the per-message trace, so retransmissions that settle after the window
+// still count towards the message that caused them). Counters that cannot
+// be attributed to individual messages — eager/lazy splits, control
+// frames, duplicates, link loads, frame counts, group contributions — are
+// left zero; diff Snapshot values taken at the window boundaries for
+// those.
+func (r *Runner) CollectWindow(from, to time.Duration) Result {
+	snap := r.tracer.Snapshot()
+	res := Result{Config: r.cfg, Elapsed: r.elapsed}
+
+	live := 0
+	liveSet := make(map[peer.ID]bool, r.cfg.Nodes)
+	for i := 0; i < r.cfg.Nodes; i++ {
+		id := peer.ID(i)
+		if !r.failed[id] {
+			live++
+			liveSet[id] = true
+		}
+	}
+
+	var lat stats.Welford
+	var latencies []float64
+	var deliveryFracs []float64
+	atomic, payloads := 0, 0
+	for _, m := range snap.Messages {
+		if m.SentAt < from || m.SentAt >= to {
+			continue
+		}
+		res.MessagesSent++
+		payloads += snap.PayloadByMsg[m.ID]
+		delivered := 0
+		for _, d := range m.Deliveries {
+			res.Deliveries++
+			if liveSet[d.Node] {
+				delivered++
+			}
+			if d.Node == m.Origin {
+				continue
+			}
+			l := float64(d.At - m.SentAt)
+			lat.Add(l)
+			latencies = append(latencies, l)
+		}
+		if live > 0 {
+			frac := float64(delivered) / float64(live)
+			deliveryFracs = append(deliveryFracs, frac)
+			if delivered == live {
+				atomic++
+			}
+		}
+	}
+	res.MeanLatency = time.Duration(lat.Mean())
+	res.LatencyInterval = lat.Interval()
+	res.P50Latency = time.Duration(stats.Percentile(latencies, 50))
+	res.P95Latency = time.Duration(stats.Percentile(latencies, 95))
+	res.DeliveryRate = stats.Mean(deliveryFracs)
+	if res.MessagesSent > 0 {
+		res.AtomicRate = float64(atomic) / float64(res.MessagesSent)
+	}
+	if res.Deliveries > 0 {
+		res.PayloadPerMsg = float64(payloads) / float64(res.Deliveries)
+	}
+	return res
+}
+
+// LinkTopShare computes the share of payload traffic carried by the top
+// frac of connections between two trace snapshots: cur's link loads minus
+// prev's. Pass a zero-value prev to measure from the start of the run.
+// This is the emergent-structure metric evaluated over one phase of a run.
+func LinkTopShare(prev, cur trace.Snapshot, frac float64) float64 {
+	loads := make([]float64, 0, len(cur.Links))
+	for l, load := range cur.Links {
+		if d := load.Payloads - prev.Links[l].Payloads; d > 0 {
+			loads = append(loads, float64(d))
+		}
+	}
+	return stats.TopShare(loads, frac)
+}
+
 // joinerCoverage computes the mean fraction of post-join messages each
 // late joiner delivered (1.0 when there are no joiners, so the metric is
 // neutral in churn-free runs). A short grace period after the join absorbs
@@ -181,8 +264,17 @@ func (r *Runner) joinerCoverage(snap trace.Snapshot) float64 {
 		return 1
 	}
 	const grace = 2 * time.Second
+	// Iterate joiners in id order: float summation is not associative,
+	// so map order would leak into the last ulp of the mean and break
+	// byte-exact reproducibility.
+	joiners := make([]peer.ID, 0, len(r.joinedAt))
+	for id := range r.joinedAt {
+		joiners = append(joiners, id)
+	}
+	sort.Slice(joiners, func(i, j int) bool { return joiners[i] < joiners[j] })
 	var fracs []float64
-	for id, joined := range r.joinedAt {
+	for _, id := range joiners {
+		joined := r.joinedAt[id]
 		eligible, got := 0, 0
 		for _, m := range snap.Messages {
 			if m.SentAt < joined+grace {

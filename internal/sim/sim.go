@@ -108,8 +108,10 @@ type Config struct {
 	FailFraction float64
 
 	// LateJoiners adds this many extra nodes that start outside the
-	// overlay and join through the Join protocol at staggered times
-	// during the traffic phase (churn). They receive but do not send.
+	// overlay and join through the Join protocol (churn). Run schedules
+	// their joins at staggered times during the traffic phase; callers
+	// driving the simulation manually (the scenario engine) instead
+	// trigger each join with Runner.Join. They receive but do not send.
 	LateJoiners int
 
 	// Loss is the network frame loss probability.
@@ -190,6 +192,7 @@ type Runner struct {
 	nodes    []*core.Node
 	tracer   *trace.Collector
 	best     map[peer.ID]bool
+	ranked   []peer.ID
 	failed   map[peer.ID]bool
 	joinedAt map[peer.ID]time.Duration
 	rho      float64
@@ -263,10 +266,10 @@ func (r *Runner) computeOracle() {
 	}
 	r.t0 = time.Duration(percentile(lats, q))
 
-	ranking := monitor.Rank(cfg.Nodes, func(a, b peer.ID) float64 {
+	r.ranked = monitor.Rank(cfg.Nodes, func(a, b peer.ID) float64 {
 		return r.pairMetric(a, b)
 	})
-	r.best = monitor.BestSet(ranking, cfg.BestFraction)
+	r.best = monitor.BestSet(r.ranked, cfg.BestFraction)
 }
 
 // pairMetric is the oracle metric between two clients: one-way latency in
@@ -483,8 +486,26 @@ func (r *Runner) Result() Result {
 	return r.collect()
 }
 
+// Snapshot exposes the current trace state, so callers can diff cumulative
+// counters (link loads, eager/lazy splits, control traffic) across phases
+// of a run.
+func (r *Runner) Snapshot() trace.Snapshot {
+	return r.tracer.Snapshot()
+}
+
 // Fail silences a node, emulating its crash.
 func (r *Runner) Fail(node int) {
+	r.net.Silence(node)
+	r.failed[peer.ID(node)] = true
+}
+
+// Leave removes a node gracefully: its periodic tasks stop and its traffic
+// is dropped. With the paper's unreliable-transport assumption a graceful
+// departure and a crash look identical to peers (no leave message exists);
+// the distinct entry point keeps scenario intent readable and leaves room
+// for an announced-departure protocol.
+func (r *Runner) Leave(node int) {
+	r.nodes[node].Stop()
 	r.net.Silence(node)
 	r.failed[peer.ID(node)] = true
 }
@@ -492,6 +513,30 @@ func (r *Runner) Fail(node int) {
 // Failed reports whether the node has been silenced.
 func (r *Runner) Failed(node int) bool {
 	return r.failed[peer.ID(node)]
+}
+
+// Live returns the original (non-joiner) nodes that have not failed or
+// left.
+func (r *Runner) Live() []int {
+	return r.liveNodes()
+}
+
+// RankedNodes returns the client ids ordered best-first by the oracle
+// metric — the order the paper's §6.3 "best" failure mode kills in. The
+// ranking is computed once at construction; callers must not mutate the
+// returned slice.
+func (r *Runner) RankedNodes() []peer.ID {
+	return r.ranked
+}
+
+// Join starts a provisioned-but-idle node (index >= Config.Nodes, see
+// Config.LateJoiners) and introduces it to the overlay through contact,
+// recording the join time for coverage accounting.
+func (r *Runner) Join(node, contact int) {
+	id := peer.ID(node)
+	r.joinedAt[id] = r.net.Now()
+	r.nodes[node].Start()
+	r.nodes[node].Join(peer.ID(contact))
 }
 
 // Run executes the full experiment and returns its metrics.
@@ -550,14 +595,9 @@ func (r *Runner) scheduleJoins() {
 	for j := 0; j < cfg.LateJoiners; j++ {
 		joiner := cfg.Nodes + j
 		delay := trafficSpan / 2 * time.Duration(j+1) / time.Duration(cfg.LateJoiners+1)
-		contact := peer.ID(live[r.rng.Intn(len(live))])
-		node := r.nodes[joiner]
-		id := peer.ID(joiner)
-		r.net.AfterFunc(delay, func() {
-			r.joinedAt[id] = r.net.Now()
-			node.Start()
-			node.Join(contact)
-		})
+		contact := live[r.rng.Intn(len(live))]
+		node := joiner
+		r.net.AfterFunc(delay, func() { r.Join(node, contact) })
 	}
 }
 
@@ -582,10 +622,7 @@ func (r *Runner) injectFailures() {
 	case FailRandom:
 		victims = r.rng.Perm(cfg.Nodes)[:k]
 	case FailBest:
-		ranking := monitor.Rank(cfg.Nodes, func(a, b peer.ID) float64 {
-			return r.pairMetric(a, b)
-		})
-		for _, id := range ranking[:k] {
+		for _, id := range r.ranked[:k] {
 			victims = append(victims, int(id))
 		}
 	}

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"emcast/internal/peer"
+	"emcast/internal/trace"
+)
+
+// TestCollectWindowPartitionsRun: splitting a run into two windows at any
+// boundary must partition the messages, and each window's metrics must
+// reflect only its own messages.
+func TestCollectWindowPartitionsRun(t *testing.T) {
+	cfg := testConfig(30, 40)
+	cfg.Strategy = StrategyFlat
+	cfg.FlatP = 1.0
+	r := New(cfg)
+	full := r.Run()
+	if full.MessagesSent != 40 {
+		t.Fatalf("MessagesSent = %d, want 40", full.MessagesSent)
+	}
+
+	mid := full.Elapsed / 2
+	a := r.CollectWindow(0, mid)
+	b := r.CollectWindow(mid, full.Elapsed+time.Hour)
+	if a.MessagesSent+b.MessagesSent != full.MessagesSent {
+		t.Fatalf("windows cover %d+%d messages, want %d",
+			a.MessagesSent, b.MessagesSent, full.MessagesSent)
+	}
+	if a.Deliveries+b.Deliveries != full.Deliveries {
+		t.Fatalf("windows cover %d+%d deliveries, want %d",
+			a.Deliveries, b.Deliveries, full.Deliveries)
+	}
+	if a.MessagesSent == 0 || b.MessagesSent == 0 {
+		t.Fatalf("degenerate split: %d and %d messages", a.MessagesSent, b.MessagesSent)
+	}
+	// Pure eager push delivers atomically in each window too.
+	if a.DeliveryRate < 0.999 || b.DeliveryRate < 0.999 {
+		t.Fatalf("window delivery rates %.3f / %.3f, want ~1", a.DeliveryRate, b.DeliveryRate)
+	}
+	// Per-message payload attribution must add up to the global counter.
+	snap := r.Snapshot()
+	sum := 0
+	for _, k := range snap.PayloadByMsg {
+		sum += k
+	}
+	if sum != snap.TotalPayloads {
+		t.Fatalf("per-message payloads sum to %d, total is %d", sum, snap.TotalPayloads)
+	}
+}
+
+// TestCollectWindowEmpty: a window with no messages yields zero metrics.
+func TestCollectWindowEmpty(t *testing.T) {
+	r := New(testConfig(20, 10))
+	r.Run()
+	res := r.CollectWindow(0, time.Nanosecond)
+	if res.MessagesSent != 0 || res.Deliveries != 0 || res.DeliveryRate != 0 {
+		t.Fatalf("empty window yielded %+v", res)
+	}
+}
+
+// TestLinkTopShareDiff: the boundary-snapshot diff over the full run must
+// match the whole-run metric, and a diff between identical snapshots must
+// be zero.
+func TestLinkTopShareDiff(t *testing.T) {
+	cfg := testConfig(30, 30)
+	cfg.Strategy = StrategyRanked
+	r := New(cfg)
+	full := r.Run()
+	snap := r.Snapshot()
+	if got := LinkTopShare(trace.Snapshot{}, snap, 0.05); math.Abs(got-full.Top5Share) > 1e-12 {
+		t.Fatalf("LinkTopShare from start = %v, run reports %v", got, full.Top5Share)
+	}
+	if got := LinkTopShare(snap, snap, 0.05); got != 0 {
+		t.Fatalf("LinkTopShare of empty diff = %v, want 0", got)
+	}
+}
+
+// TestLeaveSilencesNode: a departed node stops delivering and is removed
+// from the delivery-rate denominator.
+func TestLeaveSilencesNode(t *testing.T) {
+	cfg := testConfig(30, 20)
+	cfg.Strategy = StrategyFlat
+	cfg.FlatP = 1.0
+	r := New(cfg)
+	r.Warmup()
+	r.Leave(3)
+	if !r.Failed(3) {
+		t.Fatal("Failed(3) = false after Leave")
+	}
+	for _, n := range r.Live() {
+		if n == 3 {
+			t.Fatal("departed node still listed live")
+		}
+	}
+	r.MulticastFrom(0, []byte("after leave"))
+	r.RunFor(10 * time.Second)
+	res := r.Result()
+	if res.DeliveryRate < 0.999 {
+		t.Fatalf("delivery rate %.3f among remaining nodes, want ~1", res.DeliveryRate)
+	}
+	for _, m := range r.Snapshot().Messages {
+		for _, d := range m.Deliveries {
+			if d.Node == peer.ID(3) {
+				t.Fatal("departed node delivered a message")
+			}
+		}
+	}
+}
+
+// TestRankedNodesOrder: the ranking must cover all nodes, best-first, and
+// its prefix must coincide with the oracle best set.
+func TestRankedNodesOrder(t *testing.T) {
+	cfg := testConfig(30, 1)
+	cfg.BestFraction = 0.2
+	r := New(cfg)
+	ranked := r.RankedNodes()
+	if len(ranked) != cfg.Nodes {
+		t.Fatalf("ranking covers %d nodes, want %d", len(ranked), cfg.Nodes)
+	}
+	k := int(cfg.BestFraction * float64(cfg.Nodes))
+	for _, id := range ranked[:k] {
+		if !r.Best(id) {
+			t.Fatalf("node %d in ranking prefix but not in best set", id)
+		}
+	}
+	for _, id := range ranked[k:] {
+		if r.Best(id) {
+			t.Fatalf("node %d outside ranking prefix but in best set", id)
+		}
+	}
+}
+
+// TestManualJoinIntegrates: a joiner driven through Runner.Join (the
+// scenario-engine path) must integrate and deliver subsequent messages.
+func TestManualJoinIntegrates(t *testing.T) {
+	cfg := testConfig(30, 10)
+	cfg.Strategy = StrategyFlat
+	cfg.FlatP = 1.0
+	cfg.LateJoiners = 1
+	r := New(cfg)
+	r.Warmup()
+	joiner := cfg.Nodes
+	r.Join(joiner, 0)
+	if _, ok := r.JoinedAt(joiner); !ok {
+		t.Fatal("join time not recorded")
+	}
+	r.RunFor(10 * time.Second)
+	id := r.MulticastFrom(1, []byte("post-join"))
+	r.RunFor(10 * time.Second)
+	if !r.Nodes()[joiner].Delivered(id) {
+		t.Fatal("joiner missed a message multicast after it joined")
+	}
+}

@@ -64,6 +64,7 @@ type Delivery struct {
 
 // Message aggregates the life of one multicast message.
 type Message struct {
+	ID         ids.ID
 	Origin     peer.ID
 	SentAt     time.Duration
 	Deliveries []Delivery
@@ -98,6 +99,7 @@ type Collector struct {
 
 	links          map[Link]*LinkLoad
 	payloadByNode  map[peer.ID]int
+	payloadByMsg   map[ids.ID]int
 	eagerPayloads  int
 	lazyPayloads   int
 	controlFrames  int
@@ -115,6 +117,7 @@ func NewCollector() *Collector {
 		messages:      make(map[ids.ID]*Message),
 		links:         make(map[Link]*LinkLoad),
 		payloadByNode: make(map[peer.ID]int),
+		payloadByMsg:  make(map[ids.ID]int),
 	}
 }
 
@@ -123,7 +126,7 @@ func (c *Collector) Multicast(origin peer.ID, id ids.ID, at time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.messages[id]; !ok {
-		c.messages[id] = &Message{Origin: origin, SentAt: at}
+		c.messages[id] = &Message{ID: id, Origin: origin, SentAt: at}
 		c.order = append(c.order, id)
 	}
 }
@@ -136,7 +139,7 @@ func (c *Collector) Delivered(node peer.ID, id ids.ID, at time.Duration) {
 	if !ok {
 		// Delivery of a message whose multicast was not traced (can
 		// happen in partial traces); record it with unknown origin.
-		m = &Message{Origin: peer.None, SentAt: -1}
+		m = &Message{ID: id, Origin: peer.None, SentAt: -1}
 		c.messages[id] = m
 		c.order = append(c.order, id)
 	}
@@ -157,6 +160,7 @@ func (c *Collector) PayloadSent(from, to peer.ID, id ids.ID, bytes int, eager bo
 	load.Payloads++
 	load.Bytes += bytes
 	c.payloadByNode[from]++
+	c.payloadByMsg[id]++
 	c.totalPayloads++
 	c.payloadBytes += bytes
 	if eager {
@@ -195,6 +199,9 @@ type Snapshot struct {
 	Messages      []Message
 	Links         map[Link]LinkLoad
 	PayloadByNode map[peer.ID]int
+	// PayloadByMsg counts payload transmissions per message, so windowed
+	// analyses can attribute bandwidth to the exact messages of a phase.
+	PayloadByMsg map[ids.ID]int
 
 	TotalPayloads  int
 	EagerPayloads  int
@@ -215,6 +222,7 @@ func (c *Collector) Snapshot() Snapshot {
 		Messages:       make([]Message, 0, len(c.order)),
 		Links:          make(map[Link]LinkLoad, len(c.links)),
 		PayloadByNode:  make(map[peer.ID]int, len(c.payloadByNode)),
+		PayloadByMsg:   make(map[ids.ID]int, len(c.payloadByMsg)),
 		TotalPayloads:  c.totalPayloads,
 		EagerPayloads:  c.eagerPayloads,
 		LazyPayloads:   c.lazyPayloads,
@@ -236,6 +244,9 @@ func (c *Collector) Snapshot() Snapshot {
 	}
 	for n, k := range c.payloadByNode {
 		s.PayloadByNode[n] = k
+	}
+	for id, k := range c.payloadByMsg {
+		s.PayloadByMsg[id] = k
 	}
 	return s
 }
