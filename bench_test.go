@@ -23,6 +23,7 @@ import (
 	"emcast/internal/peer"
 	"emcast/internal/scenario"
 	"emcast/internal/sim"
+	"emcast/internal/sweep"
 	"emcast/internal/topology"
 )
 
@@ -235,9 +236,9 @@ func runScenario(b *testing.B, name string) {
 }
 
 func BenchmarkScenarioSteadyPoisson(b *testing.B) { runScenario(b, "steady-poisson") }
-func BenchmarkScenarioFlashCrowd(b *testing.B)   { runScenario(b, "flash-crowd") }
-func BenchmarkScenarioCrashWave(b *testing.B)    { runScenario(b, "crash-wave") }
-func BenchmarkScenarioKillBest(b *testing.B)     { runScenario(b, "kill-best") }
+func BenchmarkScenarioFlashCrowd(b *testing.B)    { runScenario(b, "flash-crowd") }
+func BenchmarkScenarioCrashWave(b *testing.B)     { runScenario(b, "crash-wave") }
+func BenchmarkScenarioKillBest(b *testing.B)      { runScenario(b, "kill-best") }
 func BenchmarkScenarioPartitionHeal(b *testing.B) {
 	runScenario(b, "partition-heal")
 }
@@ -375,8 +376,70 @@ func BenchmarkClientMatrix(b *testing.B) {
 	net := topology.Generate(topology.DefaultParams())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		net.ClientMatrix()
+		// The matrix is lazy; Materialize forces the all-pairs cost this
+		// benchmark exists to measure.
+		net.ClientMatrix().Materialize()
 	}
+}
+
+// --- Lazy oracle: sweep-cell setup cost ---
+
+// benchSetup measures sim.New alone — the per-cell setup a sweep pays
+// before any traffic — at 1k nodes. Strategies without a radius or
+// ranking skip the O(n²) oracle (pair scans, distribution sorts, and the
+// eager all-pairs Dijkstras behind them), so flat setup stays near-linear
+// while ranked pays the full oracle on first use.
+func benchSetup(b *testing.B, strat sim.StrategyKind, oracle bool) {
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig()
+		cfg.Nodes = 1000
+		cfg.Seed = int64(i + 1)
+		cfg.Strategy = strat
+		// A half-size router population still offers enough stubs for 1k
+		// clients.
+		tp := topology.DefaultParams().Scaled(2)
+		cfg.Topology = &tp
+		r := sim.New(cfg)
+		if oracle {
+			// Force what ranked/radius strategies consume lazily.
+			r.RankedNodes()
+		}
+	}
+}
+
+func BenchmarkSetup1kFlat(b *testing.B)   { benchSetup(b, sim.StrategyFlat, false) }
+func BenchmarkSetup1kRanked(b *testing.B) { benchSetup(b, sim.StrategyRanked, true) }
+
+// --- Sweep engine: the full comparison-matrix pipeline ---
+
+// BenchmarkSweepQuick runs a scaled 2-strategy × 1-scenario × 2-replicate
+// sweep per iteration and reports the headline comparison from the last
+// matrix, mirroring how `emucast sweep` is used for quick comparisons.
+func BenchmarkSweepQuick(b *testing.B) {
+	var recovered float64
+	for i := 0; i < b.N; i++ {
+		crash, err := scenario.Builtin("crash-wave")
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec := sweep.Spec{
+			Strategies:    []string{"flat", "ranked"},
+			Scenarios:     []sweep.ScenarioRef{{Spec: &crash}},
+			Replicates:    2,
+			BaseSeed:      int64(i + 1),
+			Nodes:         []int{30},
+			TopologyScale: 8,
+		}
+		if err := spec.Resolve(""); err != nil {
+			b.Fatal(err)
+		}
+		m, err := spec.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		recovered = m.Rows[len(m.Rows)-1].Metrics["recovered"].Mean
+	}
+	b.ReportMetric(100*recovered, "recovered-%")
 }
 
 func BenchmarkClusterMulticast(b *testing.B) {

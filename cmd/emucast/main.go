@@ -19,6 +19,14 @@
 //
 //	emucast scenario -f <file.json>
 //	emucast scenario <builtin>           (see `emucast scenario -list`)
+//
+// The sweep subcommand crosses strategies × scenarios × seed replicates
+// into one parallel comparison matrix with mean±stddev statistics and
+// per-metric winners (see examples/sweeps for runnable specs):
+//
+//	emucast sweep                         (paper's five strategies × four archetypes)
+//	emucast sweep -f examples/sweeps/quick.json
+//	emucast sweep -strategies ranked,flat -scenarios crash-wave -replicates 5
 package main
 
 import (
@@ -44,6 +52,9 @@ func run(args []string, out, errOut io.Writer) error {
 	if len(args) > 0 && args[0] == "scenario" {
 		return runScenario(args[1:], out, errOut)
 	}
+	if len(args) > 0 && args[0] == "sweep" {
+		return runSweep(args[1:], out, errOut)
+	}
 	fs := flag.NewFlagSet("emucast", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
@@ -56,7 +67,8 @@ func run(args []string, out, errOut io.Writer) error {
 	fs.Usage = func() {
 		fmt.Fprintf(errOut,
 			"usage: emucast [flags] {t1|fig4|fig5a|fig5b|fig5c|fig6|s1|s2|a1|a2|map|all}\n"+
-				"       emucast scenario [flags] {-f <file.json> | <builtin>}\n")
+				"       emucast scenario [flags] {-f <file.json> | <builtin>}\n"+
+				"       emucast sweep [flags] [-f <sweep.json>]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {

@@ -37,7 +37,7 @@ func TestScenarioArchetypesEndToEnd(t *testing.T) {
 					DeliveryRate float64 `json:"delivery_rate"`
 				} `json:"overall"`
 				Phases []struct {
-					Name string `json:"name"`
+					Name    string `json:"name"`
 					Metrics struct {
 						MessagesSent int `json:"messages_sent"`
 					} `json:"metrics"`

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"emcast/internal/sweep"
+)
+
+// runSweep implements the `emucast sweep` subcommand: it builds a sweep
+// spec — from a JSON file via -f, or from the -strategies/-scenarios/
+// -replicates flags — executes the strategy × scenario × seed grid on a
+// worker pool, and prints the aggregated comparison matrix.
+func runSweep(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("emucast sweep", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		file       = fs.String("f", "", "sweep spec JSON file (alternative to the flags below)")
+		strategies = fs.String("strategies", "", "comma-separated strategies (default flat,ttl,radius,ranked,hybrid)")
+		scenarios  = fs.String("scenarios", "", "comma-separated builtin scenario names or spec files\n(default steady-poisson,crash-wave,kill-best,partition-heal)")
+		replicates = fs.Int("replicates", 0, "seed replicates per cell (default 3)")
+		seed       = fs.Int64("seed", 0, "base seed; replicate r runs with seed base+r (default 1)")
+		nodesCSV   = fs.String("nodes", "", "comma-separated overlay-size axis (default: each scenario's own)")
+		scale      = fs.Int("scale", 0, "topology scale-down factor override")
+		workers    = fs.Int("workers", 0, "concurrent cell runs (default GOMAXPROCS)")
+		format     = fs.String("format", "table", "output format: table, markdown, csv or json")
+		jsonPath   = fs.String("json", "", "also write the matrix JSON to this file")
+		outPath    = fs.String("o", "", "write output to this file instead of stdout")
+		verbose    = fs.Bool("v", false, "log per-cell progress to stderr")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(errOut, "usage: emucast sweep [flags]\n"+
+			"       emucast sweep -f <sweep.json> [flags]\n"+
+			"With no flags, sweeps the paper's five strategies across four scenario\n"+
+			"archetypes with 3 seed replicates each (full size — use -nodes/-scale\n"+
+			"for quick runs).\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+
+	var spec sweep.Spec
+	baseDir := "."
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		baseDir = filepath.Dir(*file)
+		spec, err = sweep.Parse(f, baseDir)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %v", *file, err)
+		}
+	}
+
+	// Flag overrides apply on top of the file (or build the whole spec).
+	if *strategies != "" {
+		spec.Strategies = splitCSV(*strategies)
+	}
+	if *scenarios != "" {
+		spec.Scenarios = nil
+		for _, s := range splitCSV(*scenarios) {
+			if strings.HasSuffix(s, ".json") {
+				// Flag-supplied paths are relative to the working
+				// directory, not to the -f sweep file's directory —
+				// absolutize before Resolve applies its baseDir.
+				abs, err := filepath.Abs(s)
+				if err != nil {
+					return fmt.Errorf("bad -scenarios path %q: %v", s, err)
+				}
+				spec.Scenarios = append(spec.Scenarios, sweep.ScenarioRef{File: abs})
+			} else {
+				spec.Scenarios = append(spec.Scenarios, sweep.ScenarioRef{Builtin: s})
+			}
+		}
+	}
+	if *file == "" && len(spec.Scenarios) == 0 {
+		for _, s := range []string{"steady-poisson", "crash-wave", "kill-best", "partition-heal"} {
+			spec.Scenarios = append(spec.Scenarios, sweep.ScenarioRef{Builtin: s})
+		}
+	}
+	if *replicates > 0 {
+		spec.Replicates = *replicates
+	}
+	if *seed != 0 {
+		spec.BaseSeed = *seed
+	}
+	if *nodesCSV != "" {
+		spec.Nodes = nil
+		for _, s := range splitCSV(*nodesCSV) {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				return fmt.Errorf("bad -nodes value %q: %v", s, err)
+			}
+			spec.Nodes = append(spec.Nodes, n)
+		}
+	}
+	if *scale > 0 {
+		spec.TopologyScale = *scale
+	}
+	if *workers > 0 {
+		spec.Workers = *workers
+	}
+	switch *format {
+	case "table", "markdown", "md", "csv", "json":
+	default:
+		return fmt.Errorf("unknown format %q (want table, markdown, csv or json)", *format)
+	}
+	if err := spec.Resolve(baseDir); err != nil {
+		return err
+	}
+	if *verbose {
+		spec.OnCell = func(done, total int) {
+			fmt.Fprintf(errOut, "sweep: %d/%d cells done\n", done, total)
+		}
+	}
+
+	m, err := spec.Run()
+	if err != nil {
+		return err
+	}
+
+	var rendered []byte
+	switch *format {
+	case "table":
+		rendered = []byte(m.Text())
+	case "markdown", "md":
+		rendered = []byte(m.Markdown())
+	case "csv":
+		rendered = []byte(m.CSV())
+	case "json":
+		enc, err := m.JSON()
+		if err != nil {
+			return err
+		}
+		rendered = append(enc, '\n')
+	}
+
+	if *jsonPath != "" {
+		enc, err := m.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if *outPath != "" {
+		return os.WriteFile(*outPath, rendered, 0o644)
+	}
+	_, err = out.Write(rendered)
+	return err
+}
+
+// splitCSV splits a comma-separated flag value, trimming blanks.
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

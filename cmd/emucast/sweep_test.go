@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSweepEndToEnd runs a small 2×2×2 sweep through the CLI and checks
+// the table output, the -json artifact, and that all five acceptance
+// pieces (builtins, replicates, parallel workers, recovery metric) wire
+// through.
+func TestSweepEndToEnd(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "matrix.json")
+	var out, errOut bytes.Buffer
+	err := run([]string{"sweep",
+		"-strategies", "eager,ranked",
+		"-scenarios", "steady-poisson,crash-wave",
+		"-replicates", "2",
+		"-nodes", "25", "-scale", "8",
+		"-workers", "4",
+		"-json", jsonPath,
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{"steady-poisson", "crash-wave", "eager", "ranked", "deliv", "2 replicates"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("table output missing %q:\n%s", want, text)
+		}
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Strategies []string `json:"strategies"`
+		Scenarios  []string `json:"scenarios"`
+		Rows       []struct {
+			Scenario string                        `json:"scenario"`
+			Strategy string                        `json:"strategy"`
+			Metrics  map[string]map[string]float64 `json:"metrics"`
+		} `json:"rows"`
+		Cells []struct {
+			Seed int64 `json:"seed"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("matrix artifact not JSON: %v", err)
+	}
+	if len(m.Rows) != 4 || len(m.Cells) != 8 {
+		t.Fatalf("matrix shape: %d rows, %d cells, want 4, 8", len(m.Rows), len(m.Cells))
+	}
+	// The crash-wave rows must carry the recovery metric.
+	found := false
+	for _, r := range m.Rows {
+		if r.Scenario == "crash-wave" {
+			if _, ok := r.Metrics["recovered"]; ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no crash-wave row reports a recovery metric:\n%s", raw)
+	}
+}
+
+// TestSweepFromFile runs a sweep spec file with a file-referenced
+// scenario resolved relative to it.
+func TestSweepFromFile(t *testing.T) {
+	dir := t.TempDir()
+	scenPath := filepath.Join(dir, "scen.json")
+	if err := os.WriteFile(scenPath, []byte(`{
+		"name": "from-file", "nodes": 20, "topology_scale": 8, "drain": "4s",
+		"phases": [{"name": "p", "duration": "6s",
+			"traffic": [{"kind": "constant", "rate": 2}]}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sweepPath := filepath.Join(dir, "sweep.json")
+	if err := os.WriteFile(sweepPath, []byte(`{
+		"name": "file-sweep",
+		"strategies": ["eager", "ttl"],
+		"scenarios": [{"file": "scen.json"}],
+		"replicates": 2
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if err := run([]string{"sweep", "-f", sweepPath, "-format", "csv"}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "from-file,20,ttl,delivery_rate,2,") {
+		t.Fatalf("csv output missing aggregate:\n%s", out.String())
+	}
+}
+
+// TestSweepFlagScenarioPathRelativeToCwd: scenario files named on the
+// -scenarios flag resolve against the working directory even when -f
+// points the sweep-file baseDir elsewhere.
+func TestSweepFlagScenarioPathRelativeToCwd(t *testing.T) {
+	dir := t.TempDir()
+	other := filepath.Join(dir, "elsewhere")
+	if err := os.MkdirAll(other, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(other, "sweep.json"), []byte(`{
+		"strategies": ["eager"], "replicates": 1,
+		"scenarios": ["steady-poisson"]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "local.json"), []byte(`{
+		"name": "local", "nodes": 20, "topology_scale": 8, "drain": "4s",
+		"phases": [{"name": "p", "duration": "5s",
+			"traffic": [{"kind": "constant", "rate": 2}]}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(dir)
+	var out, errOut bytes.Buffer
+	err := run([]string{"sweep",
+		"-f", filepath.Join(other, "sweep.json"),
+		"-scenarios", "local.json", "-format", "csv",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "local,20,eager,") {
+		t.Fatalf("cwd-relative scenario not used:\n%s", out.String())
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"sweep", "-scenarios", "bogus-archetype"}, &out, &errOut); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run([]string{"sweep", "-strategies", "bogus"}, &out, &errOut); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if err := run([]string{"sweep", "-format", "bogus", "-scenarios", "steady-poisson"}, &out, &errOut); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run([]string{"sweep", "extra-arg"}, &out, &errOut); err == nil {
+		t.Error("positional argument accepted")
+	}
+	if err := run([]string{"sweep", "-nodes", "abc", "-scenarios", "steady-poisson"}, &out, &errOut); err == nil {
+		t.Error("bad nodes axis accepted")
+	}
+}

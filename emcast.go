@@ -228,6 +228,10 @@ func (c *Cluster) Deliveries() []Delivery {
 
 // Stats summarises the run so far.
 func (c *Cluster) Stats() Stats {
+	// The Low/Best split below is documented unconditionally, so
+	// materialise the oracle ranking it is defined against even for
+	// strategies that never query one (flat, ttl).
+	c.runner.RankedNodes()
 	res := c.runner.Result()
 	return Stats{
 		MessagesSent:      res.MessagesSent,

@@ -134,6 +134,12 @@ func TestClusterStatsFields(t *testing.T) {
 	if s.PayloadPerMsg < 0.9 || s.PayloadPerMsg > 3 {
 		t.Fatalf("TTL payload/msg = %.2f", s.PayloadPerMsg)
 	}
+	// The documented hub/regular split must be populated even for
+	// strategies that never consult the (lazily computed) ranking.
+	if s.PayloadPerMsgLow <= 0 || s.PayloadPerMsgBest <= 0 {
+		t.Fatalf("low/best split empty for TTL: low=%.2f best=%.2f",
+			s.PayloadPerMsgLow, s.PayloadPerMsgBest)
+	}
 	if s.String() == "" {
 		t.Fatal("empty Stats string")
 	}

@@ -1,0 +1,73 @@
+// Sweeps: the parallel comparison-matrix engine. One sweep Spec crosses
+// transmission strategies × scenarios × seed replicates into a grid of
+// independent deterministic runs, executes them on a worker pool, and
+// aggregates mean±stddev statistics — including the recovery-time metric
+// (time-to-full-delivery after churn or a partition) — with per-metric
+// winners, reproducing the paper's §6-style comparison tables in one go.
+//
+// Run without arguments for a scaled-down 2×2×2 demo, or pass a sweep
+// spec JSON file (see the *.json files next to this program; headline.json
+// is the full-size paper comparison):
+//
+//	go run ./examples/sweeps
+//	go run ./examples/sweeps examples/sweeps/quick.json
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"emcast/internal/scenario"
+	"emcast/internal/sweep"
+)
+
+func main() {
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec, err := sweep.Parse(f, filepath.Dir(os.Args[1]))
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		play(spec)
+		return
+	}
+
+	// The inline demo: two strategies, a steady workload and a crash
+	// wave, two seeds each — eight cells, scaled down to run in seconds.
+	crash, err := scenario.Builtin("crash-wave")
+	if err != nil {
+		log.Fatal(err)
+	}
+	steady, err := scenario.Builtin("steady-poisson")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := sweep.Spec{
+		Name:       "demo",
+		Strategies: []string{"flat", "ranked"},
+		Scenarios:  []sweep.ScenarioRef{{Spec: &steady}, {Spec: &crash}},
+		Replicates: 2,
+		Nodes:      []int{30},
+		// A 1/8-size router population keeps the demo fast.
+		TopologyScale: 8,
+	}
+	if err := spec.Resolve(""); err != nil {
+		log.Fatal(err)
+	}
+	play(spec)
+	fmt.Println("Full paper comparison: emucast sweep -f examples/sweeps/headline.json")
+}
+
+func play(spec sweep.Spec) {
+	m, err := spec.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(m.Text())
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"emcast/internal/sweep"
+)
+
+// TestSpecsParse validates every sweep spec shipped next to this program:
+// each must parse, resolve its scenario references, and validate, so the
+// documented `emucast sweep -f examples/sweeps/...` invocations cannot
+// rot. (Running them is the CLI tests' and CI sweep smoke's job; the
+// headline spec is full-size on purpose.)
+func TestSpecsParse(t *testing.T) {
+	for _, name := range []string{"headline.json", "failure-modes.json", "quick.json"} {
+		f, err := os.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := sweep.Parse(f, ".")
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(spec.Strategies) == 0 || len(spec.Scenarios) == 0 {
+			t.Fatalf("%s: empty axes: %+v", name, spec)
+		}
+	}
+}

@@ -79,17 +79,19 @@ func (f *Figure) String() string {
 // CSV renders the figure as series,x,y,label rows.
 func (f *Figure) CSV() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "figure,series,%s,%s,label\n", csvEscape(f.XLabel), csvEscape(f.YLabel))
+	fmt.Fprintf(&b, "figure,series,%s,%s,label\n", CSVEscape(f.XLabel), CSVEscape(f.YLabel))
 	for _, s := range f.Series {
 		for _, p := range s.Points {
 			fmt.Fprintf(&b, "%s,%s,%g,%g,%s\n",
-				csvEscape(f.ID), csvEscape(s.Name), p.X, p.Y, csvEscape(p.Label))
+				CSVEscape(f.ID), CSVEscape(s.Name), p.X, p.Y, CSVEscape(p.Label))
 		}
 	}
 	return b.String()
 }
 
-func csvEscape(s string) string {
+// CSVEscape quotes a CSV field when it contains separators, quotes or
+// newlines; Figure, Table and the sweep matrix share it.
+func CSVEscape(s string) string {
 	if strings.ContainsAny(s, ",\"\n") {
 		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 	}

@@ -58,25 +58,41 @@ func (e *Engine) takeJoiners(k int) []int {
 }
 
 // join brings a provisioned node into the overlay through a random live
-// contact. With nothing live to contact the join is dropped — there is no
-// overlay left to join.
+// contact — an original node or an already-joined joiner. With nothing
+// live to contact the join is dropped — there is no overlay left to join.
 func (e *Engine) join(node int) {
-	live := e.runner.Live()
+	live := e.runner.LiveAll()
 	if len(live) == 0 {
 		return
 	}
 	e.runner.Join(node, live[e.rng.Intn(len(live))])
-	e.joined++
 }
 
-// killRandom removes one random live initial node — gracefully when leave
-// is set, as a crash otherwise. (Under the paper's unreliable transport
-// the two look identical on the wire; they are kept distinct for intent
-// and future announced-departure protocols.)
+// killRandom removes one random live participant — original node or
+// joined joiner — gracefully when leave is set, as a crash otherwise.
+// (Under the paper's unreliable transport the two look identical on the
+// wire; they are kept distinct for intent and future announced-departure
+// protocols.)
 func (e *Engine) killRandom(leave bool) {
-	live := e.runner.Live()
+	live := e.runner.LiveAll()
 	if len(live) <= 1 {
 		return // never remove the last node
+	}
+	// The headline metrics are scoped to original nodes, so the last
+	// live original is never a victim — an overlay of only joiners
+	// would report zero delivery despite disseminating fine. Joined
+	// joiners stay fair game.
+	if originals := e.runner.Live(); len(originals) <= 1 {
+		joiners := make([]int, 0, len(live))
+		for _, n := range live {
+			if n >= e.spec.Nodes {
+				joiners = append(joiners, n)
+			}
+		}
+		if len(joiners) == 0 {
+			return
+		}
+		live = joiners
 	}
 	victim := live[e.rng.Intn(len(live))]
 	if leave {
@@ -90,8 +106,9 @@ func (e *Engine) killRandom(leave bool) {
 // targeted failure mode ("precisely those that are contributing more to
 // the dissemination effort"), generalised to a timed schedule.
 func (e *Engine) killBest() {
+	ranked := e.rankedNodes()
 	live := 0
-	for _, n := range e.ranked {
+	for _, n := range ranked {
 		if !e.runner.Failed(n) {
 			live++
 		}
@@ -99,7 +116,7 @@ func (e *Engine) killBest() {
 	if live <= 1 {
 		return
 	}
-	for _, n := range e.ranked {
+	for _, n := range ranked {
 		if !e.runner.Failed(n) {
 			e.runner.Fail(n)
 			return

@@ -16,10 +16,9 @@ type Engine struct {
 	spec   Spec
 	runner *sim.Runner
 	rng    *rand.Rand
-	ranked []int // initial nodes, best-first (oracle order)
+	ranked []int // initial nodes, best-first (oracle order), lazy
 
 	nextJoiner int   // next provisioned joiner index to hand out
-	joined     int   // joiners that have entered the overlay
 	cur        int   // current phase index while running
 	skipped    []int // per-phase sends skipped because the source was dead
 	ran        bool
@@ -43,10 +42,21 @@ func New(spec Spec) (*Engine, error) {
 		nextJoiner: spec.Nodes,
 		skipped:    make([]int, len(spec.Phases)),
 	}
-	for _, id := range e.runner.RankedNodes() {
-		e.ranked = append(e.ranked, int(id))
-	}
 	return e, nil
+}
+
+// rankedNodes returns the initial nodes best-first by the oracle metric,
+// materialising the ranking on first use — scenarios without kill-best
+// churn under flat/ttl strategies never pay for it.
+func (e *Engine) rankedNodes() []int {
+	if e.ranked == nil {
+		ids := e.runner.RankedNodes()
+		e.ranked = make([]int, 0, len(ids))
+		for _, id := range ids {
+			e.ranked = append(e.ranked, int(id))
+		}
+	}
+	return e.ranked
 }
 
 // simConfig maps the declarative spec onto a simulation configuration.
@@ -111,7 +121,7 @@ func (e *Engine) boundary() boundary {
 		snap:       e.runner.Snapshot(),
 		framesSent: net.FramesSent,
 		framesLost: net.FramesLost,
-		live:       len(e.runner.Live()) + e.joined,
+		live:       len(e.runner.LiveAll()),
 	}
 }
 
@@ -167,9 +177,11 @@ func (e *Engine) schedulePhase(p *Phase) {
 }
 
 // fire sends one message of a stream, or counts a skip when the chosen
-// source is dead.
+// source is dead. The live set spans original nodes and joined joiners,
+// so round-robin and uniform pickers let joiners send once they are in
+// the overlay; zipf and fixed pickers address original node indices.
 func (e *Engine) fire(st *stream) {
-	live := e.runner.Live()
+	live := e.runner.LiveAll()
 	node, ok := st.pickSender(live, func(n int) bool { return !e.runner.Failed(n) })
 	if !ok {
 		e.skipped[e.cur]++

@@ -117,7 +117,7 @@ func TestKillBestTargetsRankingPrefix(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Exactly the top 5 of the oracle ranking must be dead.
-	for i, n := range e.ranked {
+	for i, n := range e.rankedNodes() {
 		failed := e.runner.Failed(n)
 		if i < 5 && !failed {
 			t.Fatalf("rank-%d node %d survived a kill-best wave", i, n)
@@ -125,6 +125,39 @@ func TestKillBestTargetsRankingPrefix(t *testing.T) {
 		if i >= 5 && failed {
 			t.Fatalf("rank-%d node %d died but only the top 5 were targeted", i, n)
 		}
+	}
+}
+
+// TestChurnSparesLastOriginal: crash waves bigger than the original
+// population may eat joiners but never the last original node — the
+// headline metrics are scoped to originals, so an all-joiner overlay
+// would report zero delivery despite disseminating fine.
+func TestChurnSparesLastOriginal(t *testing.T) {
+	spec := testSpec(
+		Phase{
+			Name: "grow", Duration: sec(10), Traffic: poisson(2),
+			Churn: []ChurnSpec{{Kind: ChurnJoinWave, Count: 10, At: sec(1), Over: sec(4)}},
+		},
+		Phase{
+			Name: "collapse", Duration: sec(20), Traffic: poisson(2),
+			Churn: []ChurnSpec{{Kind: ChurnCrashWave, Count: 38, At: sec(1), Over: sec(10)}},
+		},
+	)
+	spec.Nodes = 5
+	e, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.Runner().Live()); got != 1 {
+		t.Fatalf("%d original nodes live after the collapse, want exactly 1 spared", got)
+	}
+	if rep.Phases[1].Metrics.DeliveryRate <= 0 {
+		t.Fatalf("collapse phase delivery %.3f, want > 0 (survivor still measurable)",
+			rep.Phases[1].Metrics.DeliveryRate)
 	}
 }
 
@@ -278,7 +311,7 @@ func TestDeadFixedSenderSkips(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	best := probe.ranked[0]
+	best := probe.rankedNodes()[0]
 	spec := testSpec(
 		Phase{
 			Name: "hotspot-dies", Duration: sec(15),

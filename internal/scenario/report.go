@@ -49,6 +49,17 @@ type Metrics struct {
 	// over time across phases.
 	Top5LinkShare float64 `json:"top5_link_share"`
 
+	// RecoveryMS is the time-to-full-delivery after a disruption: how
+	// long after the phase's first disruptive event (a leave/crash/
+	// kill-best churn wave, a partition, or a heal) sustained full
+	// delivery to all live original nodes resumed, measured to the
+	// completion of the first message of the stable suffix. 0 when the
+	// phase has no disruptive event or carries no traffic after it to
+	// measure recovery by; -1 when messages after the event never
+	// returned to full delivery. The overall value is the worst phase,
+	// with -1 dominating.
+	RecoveryMS float64 `json:"recovery_ms,omitempty"`
+
 	FramesSent uint64 `json:"frames_sent"`
 	FramesLost uint64 `json:"frames_lost"`
 
@@ -96,11 +107,18 @@ func (r *Report) String() string {
 }
 
 func (m Metrics) line() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"msgs=%d deliveries=%.1f%% atomic=%.1f%% latency=%.0f/%.0fms payload/msg=%.2f top5=%.1f%% live=%d",
 		m.MessagesSent, 100*m.DeliveryRate, 100*m.AtomicRate,
 		m.MeanLatencyMS, m.P95LatencyMS, m.PayloadPerMsg, 100*m.Top5LinkShare, m.LiveNodes,
 	)
+	switch {
+	case m.RecoveryMS > 0:
+		s += fmt.Sprintf(" recovery=%.0fms", m.RecoveryMS)
+	case m.RecoveryMS < 0:
+		s += " recovery=never"
+	}
+	return s
 }
 
 // report assembles the final Report from the phase starts and boundaries.
@@ -150,6 +168,23 @@ func (e *Engine) report(starts []time.Duration, bounds []boundary) *Report {
 			PayloadPerMsg: res.PayloadPerMsg,
 			LiveNodes:     cur.live,
 		}
+		if off, disrupted := disruption(p); disrupted {
+			switch rec, recovered, measured := e.runner.RecoveryTime(starts[i]+off.D(), end); {
+			case !measured:
+				// No traffic after the event: nothing to judge recovery
+				// by, so stay at 0 rather than claiming a failure.
+			case recovered:
+				m.RecoveryMS = ms(rec)
+			default:
+				m.RecoveryMS = -1
+			}
+		}
+		switch {
+		case m.RecoveryMS < 0:
+			rep.Overall.RecoveryMS = -1
+		case rep.Overall.RecoveryMS >= 0 && m.RecoveryMS > rep.Overall.RecoveryMS:
+			rep.Overall.RecoveryMS = m.RecoveryMS
+		}
 		fillCounters(&m, prev, cur)
 		rep.Phases = append(rep.Phases, PhaseReport{
 			Name:    p.Name,
@@ -159,6 +194,33 @@ func (e *Engine) report(starts []time.Duration, bounds []boundary) *Report {
 		})
 	}
 	return rep
+}
+
+// disruption returns the offset of the phase's first disruptive event —
+// a leave, crash or kill-best churn wave, a partition, or a heal — or
+// false when the phase has none. Joins and network-quality shifts are not
+// disruptions: they never take delivery away from live original nodes.
+func disruption(p *Phase) (Duration, bool) {
+	found := false
+	var min Duration
+	consider := func(at Duration) {
+		if !found || at < min {
+			found, min = true, at
+		}
+	}
+	for i := range p.Churn {
+		switch p.Churn[i].Kind {
+		case ChurnLeaveWave, ChurnCrashWave, ChurnKillBest:
+			consider(p.Churn[i].At)
+		}
+	}
+	for i := range p.Network {
+		switch p.Network[i].Kind {
+		case NetPartition, NetHeal:
+			consider(p.Network[i].At)
+		}
+	}
+	return min, found
 }
 
 // fillCounters derives the interval-scoped counters between two

@@ -125,10 +125,12 @@ const (
 
 // Sender picker kinds.
 const (
-	// SendersRoundRobin rotates through the live nodes (default; the
-	// paper's §5.3 workload).
+	// SendersRoundRobin rotates through the live participants — original
+	// nodes and joined joiners alike (default; the paper's §5.3
+	// workload).
 	SendersRoundRobin = "roundrobin"
-	// SendersUniform picks a live node uniformly at random per message.
+	// SendersUniform picks a live participant (original or joined
+	// joiner) uniformly at random per message.
 	SendersUniform = "uniform"
 	// SendersZipf picks senders by a zipf law over the initial node
 	// indices — a hotspot workload. Messages drawn for a dead hotspot
@@ -174,10 +176,11 @@ const (
 	ChurnJoinWave = "join-wave"
 	// ChurnFlashCrowd joins all fresh nodes at once at offset At.
 	ChurnFlashCrowd = "flash-crowd"
-	// ChurnLeaveWave removes random live nodes gracefully.
+	// ChurnLeaveWave removes random live participants gracefully —
+	// joined joiners are fair game, not only the initial population.
 	ChurnLeaveWave = "leave-wave"
-	// ChurnCrashWave silences random live nodes (the paper's §6.3
-	// random failure mode, as a timed wave).
+	// ChurnCrashWave silences random live participants, joined joiners
+	// included (the paper's §6.3 random failure mode, as a timed wave).
 	ChurnCrashWave = "crash-wave"
 	// ChurnKillBest silences the best-ranked live nodes first (the
 	// paper's §6.3 targeted failure mode, generalised to a schedule).
@@ -254,6 +257,17 @@ func Parse(r io.Reader) (Spec, error) {
 // ParseString parses a JSON scenario spec from a string.
 func ParseString(s string) (Spec, error) {
 	return Parse(strings.NewReader(s))
+}
+
+// Normalize applies defaults in place and validates the result — what
+// Parse does after decoding. Programmatic spec producers (the sweep
+// engine, tests) call it so hand-built specs go through the same
+// pipeline as file-loaded ones. It is idempotent and, once applied,
+// later applications never write, so a normalized spec may be shared
+// read-only across concurrent engine runs.
+func (s *Spec) Normalize() error {
+	s.fill()
+	return s.Validate()
 }
 
 // fill applies defaults in place.

@@ -138,28 +138,37 @@ func (r *Runner) collect() Result {
 		res.PayloadPerMsg = float64(snap.TotalPayloads) / float64(res.Deliveries)
 	}
 	// Group contributions: payloads sent by group members, normalised
-	// per message and per group member.
-	lowCount, bestCount := 0, 0
-	lowPayloads, bestPayloads := 0, 0
-	for i := range r.nodes {
-		id := peer.ID(i)
-		if !liveSet[id] {
-			continue
+	// per message and per group member. The low/best decomposition is
+	// defined against the oracle ranking; materialising that just for
+	// this split would force the O(n²) oracle on strategies that never
+	// use it, so it is reported only when a ranking is in play (ranked
+	// and hybrid runs — including gossip-ranked ones, where the oracle
+	// best set is the ground truth the decentralized pipeline is
+	// compared against) or has already been computed.
+	if r.oracleDone || r.cfg.Strategy == StrategyRanked || r.cfg.Strategy == StrategyHybrid {
+		r.ensureOracle()
+		lowCount, bestCount := 0, 0
+		lowPayloads, bestPayloads := 0, 0
+		for i := range r.nodes {
+			id := peer.ID(i)
+			if !liveSet[id] {
+				continue
+			}
+			if r.best[id] {
+				bestCount++
+				bestPayloads += snap.PayloadByNode[id]
+			} else {
+				lowCount++
+				lowPayloads += snap.PayloadByNode[id]
+			}
 		}
-		if r.best[id] {
-			bestCount++
-			bestPayloads += snap.PayloadByNode[id]
-		} else {
-			lowCount++
-			lowPayloads += snap.PayloadByNode[id]
-		}
-	}
-	if res.MessagesSent > 0 {
-		if lowCount > 0 {
-			res.PayloadPerMsgLow = float64(lowPayloads) / float64(res.MessagesSent) / float64(lowCount)
-		}
-		if bestCount > 0 {
-			res.PayloadPerMsgBest = float64(bestPayloads) / float64(res.MessagesSent) / float64(bestCount)
+		if res.MessagesSent > 0 {
+			if lowCount > 0 {
+				res.PayloadPerMsgLow = float64(lowPayloads) / float64(res.MessagesSent) / float64(lowCount)
+			}
+			if bestCount > 0 {
+				res.PayloadPerMsgBest = float64(bestPayloads) / float64(res.MessagesSent) / float64(bestCount)
+			}
 		}
 	}
 
@@ -241,6 +250,78 @@ func (r *Runner) CollectWindow(from, to time.Duration) Result {
 	return res
 }
 
+// RecoveryTime measures how fast dissemination returned to full delivery
+// after a disruption (a churn wave, a partition, a heal) at virtual time
+// event. It scans the messages multicast in [event, to) and finds the
+// earliest message from which every later message in the window reached
+// all live original nodes — the sustained full-delivery suffix — and
+// reports the instant that first message completed (its last delivery to
+// a live node) relative to event. Deliveries are counted whenever they
+// happened, so lazy retransmissions that settle after the window still
+// count towards the message that caused them.
+//
+// recovered is false when messages exist in the window but no sustained
+// recovery does — the disruption was never fully absorbed. measured is
+// false when the window carried no traffic (or no nodes survived) to
+// judge recovery by at all; callers must not read that as a failed
+// recovery. Liveness is judged against the end-of-run live set, the
+// same convention CollectWindow uses.
+func (r *Runner) RecoveryTime(event, to time.Duration) (rec time.Duration, recovered, measured bool) {
+	snap := r.tracer.Snapshot()
+	live := 0
+	liveSet := make(map[peer.ID]bool, r.cfg.Nodes)
+	for i := 0; i < r.cfg.Nodes; i++ {
+		id := peer.ID(i)
+		if !r.failed[id] {
+			live++
+			liveSet[id] = true
+		}
+	}
+	if live == 0 {
+		return 0, false, false
+	}
+
+	type point struct {
+		sent, completed time.Duration
+		full            bool
+	}
+	var pts []point
+	for _, m := range snap.Messages {
+		if m.SentAt < event || m.SentAt >= to {
+			continue
+		}
+		delivered := 0
+		var completed time.Duration
+		for _, d := range m.Deliveries {
+			if !liveSet[d.Node] {
+				continue
+			}
+			delivered++
+			if d.At > completed {
+				completed = d.At
+			}
+		}
+		pts = append(pts, point{sent: m.SentAt, completed: completed, full: delivered == live})
+	}
+	if len(pts) == 0 {
+		return 0, false, false
+	}
+	// Multicasts are recorded in virtual-time order, but sort anyway so
+	// the suffix scan never depends on collector internals.
+	sort.SliceStable(pts, func(i, j int) bool { return pts[i].sent < pts[j].sent })
+	start := -1
+	for i := len(pts) - 1; i >= 0; i-- {
+		if !pts[i].full {
+			break
+		}
+		start = i
+	}
+	if start < 0 {
+		return 0, false, true
+	}
+	return pts[start].completed - event, true, true
+}
+
 // LinkTopShare computes the share of payload traffic carried by the top
 // frac of connections between two trace snapshots: cur's link loads minus
 // prev's. Pass a zero-value prev to measure from the start of the run.
@@ -273,7 +354,15 @@ func (r *Runner) joinerCoverage(snap trace.Snapshot) float64 {
 	}
 	sort.Slice(joiners, func(i, j int) bool { return joiners[i] < joiners[j] })
 	var fracs []float64
+	survivors := 0
 	for _, id := range joiners {
+		if r.failed[id] {
+			// A joiner that later crashed or left measures nothing
+			// about the join path; coverage is over joiners still up
+			// at the end of the run.
+			continue
+		}
+		survivors++
 		joined := r.joinedAt[id]
 		eligible, got := 0, 0
 		for _, m := range snap.Messages {
@@ -293,6 +382,12 @@ func (r *Runner) joinerCoverage(snap trace.Snapshot) float64 {
 		}
 	}
 	if len(fracs) == 0 {
+		if survivors == 0 {
+			// Every joiner died: zero coverage, not the no-churn
+			// neutral value — a run that lost all its joiners must not
+			// score perfect coverage in comparisons.
+			return 0
+		}
 		return 1
 	}
 	return stats.Mean(fracs)

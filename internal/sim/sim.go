@@ -191,14 +191,20 @@ type Runner struct {
 	net      *emunet.Network
 	nodes    []*core.Node
 	tracer   *trace.Collector
-	best     map[peer.ID]bool
-	ranked   []peer.ID
 	failed   map[peer.ID]bool
 	joinedAt map[peer.ID]time.Duration
-	rho      float64
-	t0       time.Duration
 	rng      *rand.Rand
 	elapsed  time.Duration
+
+	// Oracle state (§4.3 global knowledge), materialised lazily by
+	// ensureOracle: flat and TTL runs never query it, so they skip the
+	// O(n²) pair scans and sorts entirely — the setup cost that
+	// dominated large sweep cells.
+	oracleDone bool
+	best       map[peer.ID]bool
+	ranked     []peer.ID
+	rho        float64
+	t0         time.Duration
 }
 
 // New builds a runner from cfg: topology, emulator, nodes with warm views.
@@ -215,7 +221,7 @@ func New(cfg Config) *Runner {
 	matrix := topo.ClientMatrix()
 
 	net := emunet.New(total, func(from, to int) time.Duration {
-		return matrix.Latency[from][to]
+		return matrix.Latency(from, to)
 	}, emunet.Config{
 		Loss: cfg.Loss,
 		Seed: cfg.Seed ^ 0x5ca1ab1e,
@@ -231,9 +237,21 @@ func New(cfg Config) *Runner {
 		joinedAt: make(map[peer.ID]time.Duration),
 		rng:      rand.New(rand.NewSource(cfg.Seed ^ 0x7aff1c)),
 	}
-	r.computeOracle()
 	r.buildNodes()
 	return r
+}
+
+// ensureOracle materialises the §4.3 oracle quantities (ρ, T0, ranking,
+// best set) on first use. The computation scans all node pairs twice and
+// sorts the distributions — quadratic work that strategies without a
+// radius or ranking (flat, ttl) never need, so it is deferred until a
+// strategy, a failure injector, or an explicit accessor asks for it.
+func (r *Runner) ensureOracle() {
+	if r.oracleDone {
+		return
+	}
+	r.oracleDone = true
+	r.computeOracle()
 }
 
 // computeOracle derives ρ, T0 and the best set from global model knowledge,
@@ -260,7 +278,7 @@ func (r *Runner) computeOracle() {
 	for i := 0; i < cfg.Nodes; i++ {
 		for j := 0; j < cfg.Nodes; j++ {
 			if i != j {
-				lats = append(lats, float64(r.matrix.Latency[i][j]))
+				lats = append(lats, float64(r.matrix.Latency(i, j)))
 			}
 		}
 	}
@@ -278,7 +296,7 @@ func (r *Runner) pairMetric(a, b peer.ID) float64 {
 	if r.cfg.DistanceMetric {
 		return r.matrix.Distance(int(a), int(b))
 	}
-	return float64(r.matrix.Latency[a][b]) / float64(time.Millisecond)
+	return float64(r.matrix.Latency(int(a), int(b))) / float64(time.Millisecond)
 }
 
 func (r *Runner) buildNodes() {
@@ -401,10 +419,15 @@ func (r *Runner) buildStrategy(self peer.ID, env *peer.Env, ewma *monitor.EWMA, 
 	case StrategyTTL:
 		base = &strategy.TTL{U: cfg.TTLRounds}
 	case StrategyRadius:
+		r.ensureOracle()
 		base = &strategy.Radius{Rho: r.rho, Monitor: mon, T0: r.t0}
 	case StrategyRanked:
+		if table == nil {
+			r.ensureOracle()
+		}
 		base = &strategy.Ranked{Self: self, IsBest: isBest}
 	case StrategyHybrid:
+		r.ensureOracle()
 		base = &strategy.Hybrid{
 			Self: self, IsBest: isBest,
 			Rho: r.rho, U: cfg.TTLRounds, Monitor: mon, T0: r.t0,
@@ -442,10 +465,16 @@ func (r *Runner) globalEagerRate() float64 {
 }
 
 // Best reports whether a node is in the oracle best set.
-func (r *Runner) Best(p peer.ID) bool { return r.best[p] }
+func (r *Runner) Best(p peer.ID) bool {
+	r.ensureOracle()
+	return r.best[p]
+}
 
 // Rho returns the radius threshold derived from the oracle.
-func (r *Runner) Rho() float64 { return r.rho }
+func (r *Runner) Rho() float64 {
+	r.ensureOracle()
+	return r.rho
+}
 
 // Matrix exposes the client latency matrix (for tests and monitors).
 func (r *Runner) Matrix() *topology.Matrix { return r.matrix }
@@ -521,11 +550,27 @@ func (r *Runner) Live() []int {
 	return r.liveNodes()
 }
 
+// LiveAll returns every live participant in ascending id order: original
+// nodes that have not failed or left, plus joiners that entered the
+// overlay and are still up. Scenario traffic and churn draw from this
+// set, so joiners send and die like everyone else once they are in.
+func (r *Runner) LiveAll() []int {
+	live := r.liveNodes()
+	for i := r.cfg.Nodes; i < r.cfg.Nodes+r.cfg.LateJoiners; i++ {
+		id := peer.ID(i)
+		if _, joined := r.joinedAt[id]; joined && !r.failed[id] {
+			live = append(live, i)
+		}
+	}
+	return live
+}
+
 // RankedNodes returns the client ids ordered best-first by the oracle
 // metric — the order the paper's §6.3 "best" failure mode kills in. The
-// ranking is computed once at construction; callers must not mutate the
+// ranking is computed once, on first use; callers must not mutate the
 // returned slice.
 func (r *Runner) RankedNodes() []peer.ID {
+	r.ensureOracle()
 	return r.ranked
 }
 
@@ -622,7 +667,7 @@ func (r *Runner) injectFailures() {
 	case FailRandom:
 		victims = r.rng.Perm(cfg.Nodes)[:k]
 	case FailBest:
-		for _, id := range r.ranked[:k] {
+		for _, id := range r.RankedNodes()[:k] {
 			victims = append(victims, int(id))
 		}
 	}

@@ -1,0 +1,55 @@
+package sweep
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenMatrix locks the whole sweep pipeline down: the sample spec
+// must execute to a byte-identical matrix JSON run after run — cells,
+// aggregates, winners, recovery metrics and all. A diff here means sweep
+// or scenario semantics changed — regenerate with
+// `go test ./internal/sweep -run Golden -update` and review the drift
+// like any other behavioural change.
+func TestGoldenMatrix(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spec, err := Parse(f, "testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Workers = 4
+	m, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	goldenPath := filepath.Join("testdata", "golden.matrix.json")
+	if *update {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("matrix drifted from golden file (run with -update to accept):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

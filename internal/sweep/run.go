@@ -1,0 +1,137 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"emcast/internal/scenario"
+)
+
+// Run executes every cell of the sweep on a worker pool and aggregates
+// the reports into a Matrix. Each cell is an independent deterministic
+// scenario run (own topology, emulator, protocol RNGs), so the worker
+// count affects wall-clock only: results land in cell order and the
+// returned Matrix is byte-identical for identical (spec, seeds) at any
+// parallelism. A failing cell aborts the sweep: in-flight cells finish,
+// queued cells are skipped, and the failure with the lowest grid index
+// among those executed is reported.
+func (s *Spec) Run() (*Matrix, error) {
+	for i := range s.Scenarios {
+		if s.Scenarios[i].resolved == nil {
+			return nil, fmt.Errorf("sweep: spec not resolved (call Resolve or Parse first)")
+		}
+	}
+	cells := s.cells()
+	reports := make([]*scenario.Report, len(cells))
+	errs := make([]error, len(cells))
+
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		done   int
+		failed atomic.Bool
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if failed.Load() {
+					continue // drain: a cell already failed
+				}
+				reports[i], errs[i] = runCell(&cells[i])
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+				if s.OnCell != nil {
+					mu.Lock()
+					done++
+					s.OnCell(done, len(cells))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range cells {
+		if failed.Load() {
+			break
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			c := &cells[i]
+			return nil, fmt.Errorf("sweep: cell %s/%s seed %d: %v",
+				c.scenario, c.strategy, c.seed, err)
+		}
+	}
+	return s.aggregate(cells, reports), nil
+}
+
+// runCell plays one cell's scenario to completion.
+func runCell(c *cell) (*scenario.Report, error) {
+	eng, err := scenario.New(c.spec)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run()
+}
+
+// cellMetrics flattens a report's metrics into the named values the
+// matrix aggregates. Conditional metrics appear only when the run can
+// measure them: joiner_coverage needs joiners; recovery metrics need
+// disrupted phases. Recovery aggregates per phase, not from the
+// worst-phase overall value — a partition-heal scenario has one phase
+// that legitimately never recovers (the partition) and one that does
+// (the heal), and the comparison wants both facts: recovered is the
+// fraction of disrupted phases that returned to full delivery, and
+// recovery_ms the mean time over those that did.
+func cellMetrics(rep *scenario.Report) map[string]float64 {
+	o := rep.Overall
+	m := map[string]float64{
+		"delivery_rate":   o.DeliveryRate,
+		"atomic_rate":     o.AtomicRate,
+		"mean_latency_ms": o.MeanLatencyMS,
+		"p95_latency_ms":  o.P95LatencyMS,
+		"payload_per_msg": o.PayloadPerMsg,
+		"top5_link_share": o.Top5LinkShare,
+		"control_frames":  float64(o.ControlFrames),
+		"duplicates":      float64(o.Duplicates),
+	}
+	if rep.Joiners > 0 {
+		m["joiner_coverage"] = o.JoinerCoverage
+	}
+	disrupted, recovered := 0, 0
+	var recSum float64
+	for _, p := range rep.Phases {
+		switch {
+		case p.Metrics.RecoveryMS > 0:
+			disrupted++
+			recovered++
+			recSum += p.Metrics.RecoveryMS
+		case p.Metrics.RecoveryMS < 0:
+			disrupted++
+		}
+	}
+	if recovered > 0 {
+		m["recovery_ms"] = recSum / float64(recovered)
+	}
+	if disrupted > 0 {
+		m["recovered"] = float64(recovered) / float64(disrupted)
+	}
+	return m
+}

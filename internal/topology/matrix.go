@@ -3,45 +3,85 @@ package topology
 import (
 	"container/heap"
 	"math"
+	"sync"
 	"time"
 )
 
-// Matrix holds the all-pairs client-to-client shortest-path latency and hop
-// counts, plus the client plane coordinates. It backs both the network
+// Matrix exposes the all-pairs client-to-client shortest-path latency and
+// hop counts, plus the client plane coordinates. It backs both the network
 // emulator (per-packet delays) and the oracle monitors (paper §4.3 uses
 // global knowledge "extracted directly from the model file").
+//
+// Rows are computed lazily, one Dijkstra per source client on first use,
+// and memoized. Runs that never consult the oracle (flat or TTL
+// strategies) therefore only pay for the rows of clients that actually
+// transmit, instead of the full quadratic precomputation — the difference
+// between O(n) deferred Dijkstras and an O(n²) setup wall at 1k-node
+// sweep cells. Access is safe for concurrent use.
 type Matrix struct {
-	N       int
-	Latency [][]time.Duration
-	Hops    [][]int
-	Coords  [][2]float64
+	N      int
+	Coords [][2]float64
+
+	mu   sync.Mutex
+	net  *Network
+	lat  [][]time.Duration
+	hops [][]int
 }
 
-// ClientMatrix computes shortest-path latency (Dijkstra) and hop counts
-// between every pair of clients.
+// ClientMatrix returns the lazily computed shortest-path latency (Dijkstra)
+// and hop-count matrix between every pair of clients.
 func (n *Network) ClientMatrix() *Matrix {
 	c := len(n.Clients)
 	m := &Matrix{
-		N:       c,
-		Latency: make([][]time.Duration, c),
-		Hops:    make([][]int, c),
-		Coords:  make([][2]float64, c),
+		N:      c,
+		Coords: make([][2]float64, c),
+		net:    n,
+		lat:    make([][]time.Duration, c),
+		hops:   make([][]int, c),
 	}
-	index := make(map[int]int, c) // node id -> client index
 	for i, id := range n.Clients {
-		index[id] = i
 		m.Coords[i] = [2]float64{n.Nodes[id].X, n.Nodes[id].Y}
 	}
-	for i, src := range n.Clients {
-		distNs, hops := n.dijkstra(src)
-		m.Latency[i] = make([]time.Duration, c)
-		m.Hops[i] = make([]int, c)
-		for j, dst := range n.Clients {
-			m.Latency[i][j] = time.Duration(distNs[dst])
-			m.Hops[i][j] = hops[dst]
-		}
-	}
 	return m
+}
+
+// row returns the latency and hop rows for client i, running the Dijkstra
+// on first use.
+func (m *Matrix) row(i int) ([]time.Duration, []int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.lat[i] == nil {
+		distNs, hops := m.net.dijkstra(m.net.Clients[i])
+		latRow := make([]time.Duration, m.N)
+		hopRow := make([]int, m.N)
+		for j, dst := range m.net.Clients {
+			latRow[j] = time.Duration(distNs[dst])
+			hopRow[j] = hops[dst]
+		}
+		m.lat[i], m.hops[i] = latRow, hopRow
+	}
+	return m.lat[i], m.hops[i]
+}
+
+// Latency returns the shortest-path latency from client i to client j.
+func (m *Matrix) Latency(i, j int) time.Duration {
+	lat, _ := m.row(i)
+	return lat[j]
+}
+
+// Hops returns the hop count of the shortest path from client i to j.
+func (m *Matrix) Hops(i, j int) int {
+	_, hops := m.row(i)
+	return hops[j]
+}
+
+// Materialize forces every row, paying the full all-pairs cost upfront.
+// Benchmarks and whole-matrix consumers use it; ordinary runs rely on the
+// lazy per-row path.
+func (m *Matrix) Materialize() {
+	for i := 0; i < m.N; i++ {
+		m.row(i)
+	}
 }
 
 // dijkstra returns shortest-path distance in nanoseconds and hop counts
@@ -113,7 +153,8 @@ type Stats struct {
 	FracLat39to60 float64
 }
 
-// Stats computes summary statistics of the client-to-client paths.
+// Stats computes summary statistics of the client-to-client paths. It
+// forces the full matrix.
 func (m *Matrix) Stats(networkNodes int) Stats {
 	var s Stats
 	s.NetworkNodes = networkNodes
@@ -121,17 +162,18 @@ func (m *Matrix) Stats(networkNodes int) Stats {
 	var sumLat time.Duration
 	var in56, in3960 int
 	for i := 0; i < m.N; i++ {
+		lat, hops := m.row(i)
 		for j := 0; j < m.N; j++ {
 			if i == j {
 				continue
 			}
 			s.ClientPairs++
-			h := m.Hops[i][j]
+			h := hops[j]
 			sumHops += float64(h)
 			if h >= 5 && h <= 6 {
 				in56++
 			}
-			l := m.Latency[i][j]
+			l := lat[j]
 			sumLat += l
 			if l >= 39*time.Millisecond && l <= 60*time.Millisecond {
 				in3960++

@@ -59,21 +59,21 @@ func TestMatrixSymmetryAndReachability(t *testing.T) {
 	p.Clients = 40
 	m := Generate(p).ClientMatrix()
 	for i := 0; i < m.N; i++ {
-		if m.Latency[i][i] != 0 || m.Hops[i][i] != 0 {
+		if m.Latency(i, i) != 0 || m.Hops(i, i) != 0 {
 			t.Fatalf("self distance not zero for %d", i)
 		}
 		for j := 0; j < m.N; j++ {
 			if i == j {
 				continue
 			}
-			if m.Latency[i][j] <= 0 {
-				t.Fatalf("latency[%d][%d] = %v, want > 0 (graph must be connected)", i, j, m.Latency[i][j])
+			if m.Latency(i, j) <= 0 {
+				t.Fatalf("latency[%d][%d] = %v, want > 0 (graph must be connected)", i, j, m.Latency(i, j))
 			}
-			if m.Latency[i][j] != m.Latency[j][i] {
-				t.Fatalf("latency asymmetric: [%d][%d]=%v [%d][%d]=%v", i, j, m.Latency[i][j], j, i, m.Latency[j][i])
+			if m.Latency(i, j) != m.Latency(j, i) {
+				t.Fatalf("latency asymmetric: [%d][%d]=%v [%d][%d]=%v", i, j, m.Latency(i, j), j, i, m.Latency(j, i))
 			}
-			if m.Hops[i][j] < 2 {
-				t.Fatalf("hops[%d][%d] = %d, want >= 2 (distinct stubs)", i, j, m.Hops[i][j])
+			if m.Hops(i, j) < 2 {
+				t.Fatalf("hops[%d][%d] = %d, want >= 2 (distinct stubs)", i, j, m.Hops(i, j))
 			}
 		}
 	}
@@ -104,7 +104,7 @@ func TestDeterminism(t *testing.T) {
 	b := Generate(p).ClientMatrix()
 	for i := 0; i < a.N; i++ {
 		for j := 0; j < a.N; j++ {
-			if a.Latency[i][j] != b.Latency[i][j] {
+			if a.Latency(i, j) != b.Latency(i, j) {
 				t.Fatalf("same seed produced different matrices at [%d][%d]", i, j)
 			}
 		}
@@ -115,7 +115,7 @@ func TestDeterminism(t *testing.T) {
 	same := true
 	for i := 0; i < a.N && same; i++ {
 		for j := 0; j < a.N; j++ {
-			if a.Latency[i][j] != c.Latency[i][j] {
+			if a.Latency(i, j) != c.Latency(i, j) {
 				same = false
 				break
 			}
@@ -135,7 +135,7 @@ func TestTriangleQuick(t *testing.T) {
 	m := Generate(p).ClientMatrix()
 	f := func(a, b, c uint8) bool {
 		i, j, k := int(a)%m.N, int(b)%m.N, int(c)%m.N
-		return m.Latency[i][k] <= m.Latency[i][j]+m.Latency[j][k]
+		return m.Latency(i, k) <= m.Latency(i, j)+m.Latency(j, k)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
