@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// liveUnitSpec is a minimal fast spec for CLI-level live tests.
+const liveUnitSpec = `{
+  "name": "cli-live",
+  "seed": 2,
+  "nodes": 6,
+  "strategy": "eager",
+  "topology_scale": 8,
+  "drain": "1s",
+  "phases": [
+    {"name": "burst", "duration": "1500ms",
+     "traffic": [{"kind": "constant", "rate": 4}]}
+  ]
+}`
+
+func writeLiveSpec(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "live.json")
+	if err := os.WriteFile(path, []byte(liveUnitSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLiveCommandJSON plays a tiny spec on real sockets through the CLI
+// and checks the report JSON parses with the scenario schema fields.
+func TestLiveCommandJSON(t *testing.T) {
+	path := writeLiveSpec(t)
+	var out, errOut bytes.Buffer
+	if err := run([]string{"live", "-spec", path, "-q"}, &out, &errOut); err != nil {
+		t.Fatalf("live run failed: %v\nstderr: %s", err, errOut.String())
+	}
+	var rep struct {
+		Scenario string `json:"scenario"`
+		Overall  struct {
+			MessagesSent int     `json:"messages_sent"`
+			DeliveryRate float64 `json:"delivery_rate"`
+		} `json:"overall"`
+		Phases []json.RawMessage `json:"phases"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad report JSON: %v\n%s", err, out.String())
+	}
+	if rep.Scenario != "cli-live" || len(rep.Phases) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Overall.MessagesSent == 0 || rep.Overall.DeliveryRate != 1 {
+		t.Fatalf("overall = %+v, want full delivery on no-loss loopback", rep.Overall)
+	}
+}
+
+// TestLiveCommandCompareSim exercises the acceptance path: a real-TCP
+// playback of a scenario spec with -compare-sim prints the per-metric
+// sim-vs-live diff, and -strict + -diff-json gate and export it.
+func TestLiveCommandCompareSim(t *testing.T) {
+	path := writeLiveSpec(t)
+	diffPath := filepath.Join(t.TempDir(), "diff.json")
+	var out, errOut bytes.Buffer
+	err := run([]string{"live", "-spec", path, "-compare-sim", "-strict",
+		"-diff-json", diffPath, "-q"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("live -compare-sim failed: %v\nstderr: %s\nstdout: %s",
+			err, errOut.String(), out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "sim vs live") || !strings.Contains(text, "delivery_rate") {
+		t.Fatalf("no per-metric diff in output:\n%s", text)
+	}
+	enc, err := os.ReadFile(diffPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d struct {
+		OK      bool `json:"ok"`
+		Overall struct {
+			Rows []struct {
+				Metric  string `json:"metric"`
+				Checked bool   `json:"checked"`
+			} `json:"rows"`
+		} `json:"overall"`
+	}
+	if err := json.Unmarshal(enc, &d); err != nil {
+		t.Fatalf("bad diff JSON: %v", err)
+	}
+	if !d.OK || len(d.Overall.Rows) == 0 {
+		t.Fatalf("diff artifact odd: %s", enc)
+	}
+}
+
+func TestLiveCommandRejectsUnsupported(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	spec := strings.Replace(liveUnitSpec, `"strategy": "eager"`, `"strategy": "radius"`, 1)
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if err := run([]string{"live", "-spec", path, "-q"}, &out, &errOut); err == nil {
+		t.Fatal("radius spec accepted for live playback")
+	}
+}
+
+func TestLiveCommandUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"live"}, &out, &errOut); err == nil {
+		t.Fatal("no spec accepted")
+	}
+	if err := run([]string{"live", "-spec", "x.json", "extra"}, &out, &errOut); err == nil {
+		t.Fatal("spec file plus builtin accepted")
+	}
+}

@@ -27,6 +27,13 @@
 //	emucast sweep                         (paper's five strategies × four archetypes)
 //	emucast sweep -f examples/sweeps/quick.json
 //	emucast sweep -strategies ranked,flat -scenarios crash-wave -replicates 5
+//
+// The live subcommand replays the same scenario Specs on a fleet of real
+// TCP peers (loopback, ephemeral ports) with wall-clock pacing, and with
+// -compare-sim diffs the live report against the simulator's prediction
+// metric by metric:
+//
+//	emucast live -spec examples/scenarios/live-smoke.json -compare-sim
 package main
 
 import (
@@ -55,6 +62,9 @@ func run(args []string, out, errOut io.Writer) error {
 	if len(args) > 0 && args[0] == "sweep" {
 		return runSweep(args[1:], out, errOut)
 	}
+	if len(args) > 0 && args[0] == "live" {
+		return runLive(args[1:], out, errOut)
+	}
 	fs := flag.NewFlagSet("emucast", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
@@ -68,7 +78,8 @@ func run(args []string, out, errOut io.Writer) error {
 		fmt.Fprintf(errOut,
 			"usage: emucast [flags] {t1|fig4|fig5a|fig5b|fig5c|fig6|s1|s2|a1|a2|map|all}\n"+
 				"       emucast scenario [flags] {-f <file.json> | <builtin>}\n"+
-				"       emucast sweep [flags] [-f <sweep.json>]\n")
+				"       emucast sweep [flags] [-f <sweep.json>]\n"+
+				"       emucast live [flags] {-spec <file.json> | <builtin>}\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {

@@ -2,11 +2,77 @@ package emcast
 
 import (
 	"bytes"
-	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
+
+// startTCPGroup starts n loopback peers on ephemeral ports (listen on
+// 127.0.0.1:0, read the bound address back) and wires every address book
+// once all listeners are up — no hardcoded ports, so parallel CI jobs
+// cannot collide. mutate, when non-nil, adjusts each peer's config before
+// start. The group is closed via t.Cleanup.
+func startTCPGroup(t *testing.T, n int, mutate func(cfg *PeerConfig)) []*Peer {
+	t.Helper()
+	peers := make([]*Peer, 0, n)
+	for i := 0; i < n; i++ {
+		self := NodeID(i)
+		// Seed the view with every group member by id; addresses of
+		// peers not yet started follow via AddPeer below.
+		bootstrap := make([]NodeID, 0, n-1)
+		for j := 0; j < n; j++ {
+			if NodeID(j) != self {
+				bootstrap = append(bootstrap, NodeID(j))
+			}
+		}
+		cfg := PeerConfig{
+			Self:       self,
+			ListenAddr: "127.0.0.1:0",
+			Peers:      map[NodeID]string{},
+			Bootstrap:  bootstrap,
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		p, err := NewPeer(cfg)
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+		t.Cleanup(func() { p.Close() })
+		peers = append(peers, p)
+	}
+	for i, p := range peers {
+		for j, q := range peers {
+			if i != j {
+				p.AddPeer(NodeID(j), q.Addr())
+			}
+		}
+	}
+	return peers
+}
+
+// waitDelivered polls until every peer has delivered the message or the
+// deadline passes.
+func waitDelivered(peers []*Peer, id MessageID, deadline time.Duration) bool {
+	limit := time.Now().Add(deadline)
+	for {
+		all := true
+		for _, p := range peers {
+			if !p.Delivered(id) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+		if time.Now().After(limit) {
+			return false
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
 
 func TestClusterEagerDeliversEverywhere(t *testing.T) {
 	c, err := NewCluster(ClusterConfig{Nodes: 30, Strategy: Eager, TopologyScale: 8})
@@ -186,65 +252,24 @@ func TestClusterGossipRanking(t *testing.T) {
 // multicast reaches every peer.
 func TestPeersOverTCP(t *testing.T) {
 	const n = 5
-	addrs := make(map[NodeID]string, n)
-	for i := 0; i < n; i++ {
-		addrs[NodeID(i)] = fmt.Sprintf("127.0.0.1:%d", 39700+i)
-	}
-
 	var mu sync.Mutex
 	delivered := make(map[NodeID]int)
-
-	peers := make([]*Peer, 0, n)
-	for i := 0; i < n; i++ {
-		self := NodeID(i)
-		others := make(map[NodeID]string)
-		for id, a := range addrs {
-			if id != self {
-				others[id] = a
-			}
+	peers := startTCPGroup(t, n, func(cfg *PeerConfig) {
+		cfg.Strategy = TTL
+		cfg.TTLRounds = 2
+		cfg.Fanout = 4
+		cfg.OnDeliver = func(d Delivery) {
+			mu.Lock()
+			delivered[d.Node]++
+			mu.Unlock()
 		}
-		p, err := NewPeer(PeerConfig{
-			Self:       self,
-			ListenAddr: addrs[self],
-			Peers:      others,
-			Strategy:   TTL,
-			TTLRounds:  2,
-			Fanout:     4,
-			OnDeliver: func(d Delivery) {
-				mu.Lock()
-				delivered[d.Node]++
-				mu.Unlock()
-			},
-		})
-		if err != nil {
-			t.Fatalf("peer %d: %v", i, err)
-		}
-		peers = append(peers, p)
-	}
-	defer func() {
-		for _, p := range peers {
-			p.Close()
-		}
-	}()
+	})
 
 	id := peers[0].Multicast([]byte("over the wire"))
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		all := true
-		for _, p := range peers {
-			if !p.Delivered(id) {
-				all = false
-				break
-			}
-		}
-		if all {
-			break
-		}
-		if time.Now().After(deadline) {
-			mu.Lock()
-			t.Fatalf("timeout: deliveries=%v", delivered)
-		}
-		time.Sleep(20 * time.Millisecond)
+	if !waitDelivered(peers, id, 5*time.Second) {
+		mu.Lock()
+		defer mu.Unlock()
+		t.Fatalf("timeout: deliveries=%v", delivered)
 	}
 	mu.Lock()
 	defer mu.Unlock()
@@ -255,58 +280,95 @@ func TestPeersOverTCP(t *testing.T) {
 	}
 }
 
+// TestPeerLinkFilterPartition induces a network partition through the
+// PeerConfig.LinkFilter hook — no OS-level tricks — and checks that frames
+// stop crossing the cut in both directions, then flow again after a heal.
+func TestPeerLinkFilterPartition(t *testing.T) {
+	const n = 4
+	var partitioned atomic.Bool
+	// When partitioned, {0,1} and {2,3} are disconnected sides.
+	filter := func(from, to NodeID) bool {
+		if !partitioned.Load() {
+			return true
+		}
+		return (from < 2) == (to < 2)
+	}
+	peers := startTCPGroup(t, n, func(cfg *PeerConfig) {
+		cfg.Strategy = Eager
+		cfg.Fanout = n
+		cfg.LinkFilter = filter
+	})
+
+	// Sanity: fully connected before the cut.
+	pre := peers[0].Multicast([]byte("before"))
+	if !waitDelivered(peers, pre, 5*time.Second) {
+		t.Fatal("pre-partition multicast did not reach the group")
+	}
+
+	partitioned.Store(true)
+	cut := peers[0].Multicast([]byte("during"))
+	if !waitDelivered(peers[:2], cut, 5*time.Second) {
+		t.Fatal("multicast did not reach the sender's own side")
+	}
+	// The other side must stay dark: every frame that would carry the
+	// payload (or its IHAVE) is dropped by the filter deterministically.
+	time.Sleep(800 * time.Millisecond)
+	for i := 2; i < n; i++ {
+		if peers[i].Delivered(cut) {
+			t.Fatalf("peer %d delivered across the partition", i)
+		}
+	}
+
+	partitioned.Store(false)
+	post := peers[1].Multicast([]byte("after heal"))
+	if !waitDelivered(peers, post, 5*time.Second) {
+		t.Fatal("post-heal multicast did not reach the group")
+	}
+}
+
+// TestPeerFrameCounters checks the transport's sent/lost frame counters:
+// traffic increments sent, and a full link filter turns sends into losses.
+func TestPeerFrameCounters(t *testing.T) {
+	var blocked atomic.Bool
+	peers := startTCPGroup(t, 2, func(cfg *PeerConfig) {
+		cfg.Strategy = Eager
+		cfg.Fanout = 2
+		cfg.LinkFilter = func(from, to NodeID) bool { return !blocked.Load() }
+	})
+	id := peers[0].Multicast([]byte("counted"))
+	if !waitDelivered(peers, id, 5*time.Second) {
+		t.Fatal("multicast did not deliver")
+	}
+	if sent, _ := peers[0].Frames(); sent == 0 {
+		t.Fatal("no frames counted as sent")
+	}
+	blocked.Store(true)
+	peers[0].Multicast([]byte("dropped"))
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, lost := peers[0].Frames(); lost > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no frames counted as lost under a blocking filter")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // TestPeerRankedWithoutHubs exercises the hubless Ranked configuration on
 // a real network: hubs are discovered by the gossip-based ranking protocol
 // instead of being configured.
 func TestPeerRankedWithoutHubs(t *testing.T) {
 	const n = 4
-	addrs := make(map[NodeID]string, n)
-	for i := 0; i < n; i++ {
-		addrs[NodeID(i)] = fmt.Sprintf("127.0.0.1:%d", 39800+i)
-	}
-	peers := make([]*Peer, 0, n)
-	for i := 0; i < n; i++ {
-		self := NodeID(i)
-		others := make(map[NodeID]string)
-		for id, a := range addrs {
-			if id != self {
-				others[id] = a
-			}
-		}
-		p, err := NewPeer(PeerConfig{
-			Self:       self,
-			ListenAddr: addrs[self],
-			Peers:      others,
-			Strategy:   Ranked, // no Hubs: gossip ranking kicks in
-			Fanout:     3,
-		})
-		if err != nil {
-			t.Fatalf("peer %d: %v", i, err)
-		}
-		peers = append(peers, p)
-	}
-	defer func() {
-		for _, p := range peers {
-			p.Close()
-		}
-	}()
+	peers := startTCPGroup(t, n, func(cfg *PeerConfig) {
+		cfg.Strategy = Ranked // no Hubs: gossip ranking kicks in
+		cfg.Fanout = 3
+	})
 
 	id := peers[1].Multicast([]byte("ranked without hubs"))
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		all := true
-		for _, p := range peers {
-			if !p.Delivered(id) {
-				all = false
-			}
-		}
-		if all {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("timeout waiting for hubless ranked delivery")
-		}
-		time.Sleep(20 * time.Millisecond)
+	if !waitDelivered(peers, id, 10*time.Second) {
+		t.Fatal("timeout waiting for hubless ranked delivery")
 	}
 	if len(peers[0].View()) == 0 {
 		t.Fatal("peer view empty")

@@ -17,27 +17,28 @@ import (
 
 func main() {
 	const n = 8
-	addrs := make(map[emcast.NodeID]string, n)
-	for i := 0; i < n; i++ {
-		addrs[emcast.NodeID(i)] = fmt.Sprintf("127.0.0.1:%d", 42800+i)
-	}
 
 	var mu sync.Mutex
 	received := make(map[emcast.NodeID][]string)
 
+	// Every peer binds an ephemeral port (127.0.0.1:0) — no hardcoded
+	// port ranges to collide with parallel runs. Views are seeded with
+	// the whole group by id; the addresses are wired up once every
+	// listener is bound, via the run-time AddPeer path.
 	peers := make([]*emcast.Peer, 0, n)
 	for i := 0; i < n; i++ {
 		self := emcast.NodeID(i)
-		book := make(map[emcast.NodeID]string, n-1)
-		for id, addr := range addrs {
-			if id != self {
-				book[id] = addr
+		bootstrap := make([]emcast.NodeID, 0, n-1)
+		for j := 0; j < n; j++ {
+			if emcast.NodeID(j) != self {
+				bootstrap = append(bootstrap, emcast.NodeID(j))
 			}
 		}
 		p, err := emcast.NewPeer(emcast.PeerConfig{
 			Self:       self,
-			ListenAddr: addrs[self],
-			Peers:      book,
+			ListenAddr: "127.0.0.1:0",
+			Peers:      map[emcast.NodeID]string{},
+			Bootstrap:  bootstrap,
 			Strategy:   emcast.TTL,
 			TTLRounds:  2,
 			Fanout:     4,
@@ -52,6 +53,13 @@ func main() {
 		}
 		defer p.Close()
 		peers = append(peers, p)
+	}
+	for i, p := range peers {
+		for j, q := range peers {
+			if i != j {
+				p.AddPeer(emcast.NodeID(j), q.Addr())
+			}
+		}
 	}
 
 	// Every peer announces itself to the group.

@@ -1,0 +1,104 @@
+package live
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"emcast/internal/scenario"
+)
+
+func report(m scenario.Metrics, phases ...scenario.Metrics) *scenario.Report {
+	rep := &scenario.Report{Scenario: "t", Strategy: "eager", Nodes: 8, Overall: m}
+	for i, pm := range phases {
+		rep.Phases = append(rep.Phases, scenario.PhaseReport{Name: "p", Metrics: pm})
+		_ = i
+	}
+	return rep
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	sim := report(scenario.Metrics{DeliveryRate: 1, AtomicRate: 1, PayloadPerMsg: 3, MessagesSent: 10})
+	liv := report(scenario.Metrics{DeliveryRate: 0.98, AtomicRate: 0.9, PayloadPerMsg: 3.5, MessagesSent: 10})
+	d := Compare(sim, liv, nil)
+	if !d.OK {
+		t.Fatalf("diff not OK:\n%s", d.String())
+	}
+	if d.Overall.Name != "overall" || len(d.Overall.Rows) == 0 {
+		t.Fatalf("overall section odd: %+v", d.Overall)
+	}
+}
+
+func TestCompareOutsideTolerance(t *testing.T) {
+	sim := report(scenario.Metrics{DeliveryRate: 1, AtomicRate: 1})
+	liv := report(scenario.Metrics{DeliveryRate: 0.5, AtomicRate: 1})
+	d := Compare(sim, liv, nil)
+	if d.OK {
+		t.Fatal("50-point delivery gap passed tolerance")
+	}
+	found := false
+	for _, r := range d.Overall.Rows {
+		if r.Metric == "delivery_rate" {
+			found = true
+			if !r.Checked || r.Within {
+				t.Fatalf("delivery_rate row = %+v, want checked and not within", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no delivery_rate row")
+	}
+	if !strings.Contains(d.String(), "FAIL") {
+		t.Fatal("rendering does not mark the failure")
+	}
+}
+
+// TestCompareRecoveryDisagreement: the simulator predicts recovery
+// (RecoveryMS > 0) while live never recovers (−1) — a checkable
+// disagreement even though raw recovery milliseconds are informational.
+func TestCompareRecoveryDisagreement(t *testing.T) {
+	sim := report(scenario.Metrics{DeliveryRate: 1, RecoveryMS: 420},
+		scenario.Metrics{DeliveryRate: 1, RecoveryMS: 420})
+	liv := report(scenario.Metrics{DeliveryRate: 1, RecoveryMS: -1},
+		scenario.Metrics{DeliveryRate: 1, RecoveryMS: -1})
+	d := Compare(sim, liv, nil)
+	if d.OK {
+		t.Fatal("recovered-vs-never disagreement passed")
+	}
+	// Same verdicts must pass.
+	d = Compare(sim, sim, nil)
+	if !d.OK {
+		t.Fatalf("self-compare failed:\n%s", d.String())
+	}
+}
+
+func TestCompareLatencyIsInformational(t *testing.T) {
+	sim := report(scenario.Metrics{DeliveryRate: 1, MeanLatencyMS: 300, P95LatencyMS: 700})
+	liv := report(scenario.Metrics{DeliveryRate: 1, MeanLatencyMS: 2, P95LatencyMS: 5})
+	d := Compare(sim, liv, nil)
+	if !d.OK {
+		t.Fatal("latency gap (loopback vs modeled WAN) gated the diff")
+	}
+	for _, r := range d.Overall.Rows {
+		if r.Metric == "mean_latency_ms" && r.Checked {
+			t.Fatal("latency marked as checked")
+		}
+	}
+}
+
+func TestDiffJSONRoundTrips(t *testing.T) {
+	sim := report(scenario.Metrics{DeliveryRate: 1})
+	liv := report(scenario.Metrics{DeliveryRate: 1})
+	d := Compare(sim, liv, map[string]Tolerance{"delivery_rate": {Abs: 0.01}})
+	enc, err := d.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Diff
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Scenario != "t" || !back.OK {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}

@@ -1,0 +1,672 @@
+// Package live replays scenario Specs on real TCP peers: the same
+// declarative workloads the virtual-time simulator plays (traffic
+// generators, churn schedules, partitions) are executed against a fleet
+// of in-process emcast.Peer nodes on loopback sockets, with virtual phase
+// times mapped to wall-clock pacing. Deliveries flow through the same
+// trace collector the simulator uses, so the harness emits the exact same
+// per-phase scenario.Report — and Compare diffs a live report against a
+// simulator prediction metric by metric, the step that validates the
+// model against real sockets.
+//
+// Live playback supports the spec features that have a real-network
+// meaning: every traffic generator and sender picker, join/flash-crowd/
+// leave/crash churn (new peers are started with ephemeral ports and enter
+// through the Join protocol; victims are closed or hard-killed), and
+// partition/heal via the PeerConfig.LinkFilter hook. Emulator-only
+// dynamics — latency scaling, loss injection, oracle-ranked kill-best
+// churn — have no live counterpart and are rejected by Supported.
+package live
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"emcast"
+	"emcast/internal/peer"
+	"emcast/internal/scenario"
+	"emcast/internal/sim"
+	"emcast/internal/trace"
+)
+
+// Options tunes the harness.
+type Options struct {
+	// TimeScale compresses the virtual timeline: a phase of virtual
+	// duration d paces over d/TimeScale of wall clock (default 1 — real
+	// time). Protocol timers (retransmission period, shuffles) stay at
+	// their wall-clock values, so aggressive compression distorts the
+	// pacing/protocol ratio; latency measurements are always real.
+	TimeScale float64
+	// Warmup is the wall-clock settling time before the first phase
+	// (connections establish, views randomise; gossip-ranked runs also
+	// need ping and score samples). Default 500 ms, 3 s for ranked.
+	Warmup time.Duration
+	// Drain keeps the fleet running after the last phase so in-flight
+	// lazy recoveries settle. Default: the spec's drain mapped through
+	// TimeScale, at least 1 s.
+	Drain time.Duration
+	// Fanout overrides the peers' gossip fanout (default: the protocol
+	// default, 11).
+	Fanout int
+	// Logf, when set, receives progress lines (phase starts, churn).
+	Logf func(format string, args ...interface{})
+}
+
+func (o *Options) fill(spec *scenario.Spec) {
+	if o.TimeScale <= 0 {
+		o.TimeScale = 1
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 500 * time.Millisecond
+		if spec.Strategy == "ranked" {
+			o.Warmup = 3 * time.Second
+		}
+	}
+	if o.Drain <= 0 {
+		o.Drain = time.Duration(float64(spec.Drain.D()) / o.TimeScale)
+		if o.Drain < time.Second {
+			o.Drain = time.Second
+		}
+	}
+}
+
+// Supported reports whether the spec can be played on real TCP peers,
+// with a descriptive error naming the first unsupported feature. The
+// simulator-only features are the ones that require the emulator (latency
+// scaling, loss injection) or global model knowledge (kill-best churn,
+// which ranks nodes by the topology oracle).
+func Supported(spec *scenario.Spec) error {
+	switch spec.Strategy {
+	case "eager", "lazy", "flat", "ttl", "ranked":
+	default:
+		return fmt.Errorf("live: strategy %q needs the simulator's latency oracle (supported live: eager, lazy, flat, ttl, ranked)", spec.Strategy)
+	}
+	if spec.Loss > 0 {
+		return fmt.Errorf("live: loss injection is emulator-only (TCP does not lose frames on demand)")
+	}
+	for i := range spec.Phases {
+		p := &spec.Phases[i]
+		for j := range p.Churn {
+			if p.Churn[j].Kind == scenario.ChurnKillBest {
+				return fmt.Errorf("live: phase %q: kill-best churn ranks nodes by the topology oracle, which has no live counterpart", p.Name)
+			}
+		}
+		for j := range p.Network {
+			switch p.Network[j].Kind {
+			case scenario.NetPartition, scenario.NetHeal:
+			default:
+				return fmt.Errorf("live: phase %q: network event %q is emulator-only (supported live: partition, heal)", p.Name, p.Network[j].Kind)
+			}
+		}
+	}
+	return nil
+}
+
+// Harness replays one Spec on a fleet of real TCP peers. Build with New,
+// run once with Run.
+type Harness struct {
+	spec scenario.Spec
+	opts Options
+
+	tracer *trace.Collector
+	epoch  time.Time
+	rng    *rand.Rand
+
+	mu          sync.Mutex
+	peers       map[int]*emcast.Peer
+	addrs       map[emcast.NodeID]string
+	joined      map[peer.ID]time.Duration
+	failed      map[peer.ID]bool
+	retiredSent uint64
+	retiredLost uint64
+	nextJoiner  int
+	skipped     []int
+	closing     sync.WaitGroup
+
+	// Partition/crash state read by every peer's link filter, on
+	// transport goroutines — its own lock keeps filter evaluation off
+	// the main harness lock.
+	fmu  sync.RWMutex
+	dead map[emcast.NodeID]bool
+	side map[emcast.NodeID]int // nil = no partition
+
+	ran bool
+}
+
+// New validates the spec (defaults applied) for live playback and
+// assembles a harness.
+func New(spec scenario.Spec, opts Options) (*Harness, error) {
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	if err := Supported(&spec); err != nil {
+		return nil, err
+	}
+	opts.fill(&spec)
+	return &Harness{
+		spec:       spec,
+		opts:       opts,
+		tracer:     trace.NewCollector(),
+		rng:        rand.New(rand.NewSource(spec.Seed ^ 0x11ce5ce9a5105ce9)),
+		peers:      make(map[int]*emcast.Peer),
+		addrs:      make(map[emcast.NodeID]string),
+		joined:     make(map[peer.ID]time.Duration),
+		failed:     make(map[peer.ID]bool),
+		nextJoiner: spec.Nodes,
+		skipped:    make([]int, len(spec.Phases)),
+		dead:       make(map[emcast.NodeID]bool),
+	}, nil
+}
+
+// allow is the link filter shared by every peer of the fleet: frames are
+// carried unless an endpoint is hard-killed or the endpoints sit on
+// different partition sides.
+func (h *Harness) allow(from, to emcast.NodeID) bool {
+	h.fmu.RLock()
+	defer h.fmu.RUnlock()
+	if h.dead[from] || h.dead[to] {
+		return false
+	}
+	if h.side == nil {
+		return true
+	}
+	return h.sideOf(from) == h.sideOf(to)
+}
+
+// sideOf returns the partition side of a node; nodes listed in no group
+// share the implicit extra side (the emulator's convention).
+func (h *Harness) sideOf(n emcast.NodeID) int {
+	if s, ok := h.side[n]; ok {
+		return s
+	}
+	return -1
+}
+
+// wall maps a virtual offset to its wall-clock pacing.
+func (h *Harness) wall(d time.Duration) time.Duration {
+	return time.Duration(float64(d) / h.opts.TimeScale)
+}
+
+func (h *Harness) logf(format string, args ...interface{}) {
+	if h.opts.Logf != nil {
+		h.opts.Logf(format, args...)
+	}
+}
+
+// peerConfig assembles the shared parts of every fleet member's config.
+func (h *Harness) peerConfig(self int) emcast.PeerConfig {
+	cfg := emcast.PeerConfig{
+		Self:       emcast.NodeID(self),
+		ListenAddr: "127.0.0.1:0",
+		Seed:       h.spec.Seed ^ int64(self+1)*0x2545f4914f6cdd1d,
+		Fanout:     h.opts.Fanout,
+		LinkFilter: h.allow,
+		Epoch:      h.epoch,
+		Tracer:     h.tracer,
+	}
+	switch h.spec.Strategy {
+	case "eager", "":
+		cfg.Strategy = emcast.Eager
+	case "lazy":
+		cfg.Strategy = emcast.Lazy
+	case "flat":
+		cfg.Strategy = emcast.Flat
+		cfg.FlatP = h.spec.FlatP
+		if cfg.FlatP <= 0 {
+			cfg.FlatP = 0.5
+		}
+	case "ttl":
+		cfg.Strategy = emcast.TTL
+		cfg.TTLRounds = h.spec.TTLRounds
+	case "ranked":
+		// No explicit hubs: the fully decentralized gossip-based
+		// ranking discovers them from run-time RTT measurements.
+		cfg.Strategy = emcast.Ranked
+		cfg.BestFraction = h.spec.BestFraction
+	}
+	return cfg
+}
+
+// boundary captures cumulative state at a phase edge (same diffing idea
+// as the simulator engine's boundaries).
+type boundary struct {
+	at         time.Duration
+	snap       trace.Snapshot
+	framesSent uint64
+	framesLost uint64
+	live       int
+}
+
+func (h *Harness) boundary() boundary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sent, lost := h.retiredSent, h.retiredLost
+	for _, p := range h.peers {
+		s, l := p.Frames()
+		sent += s
+		lost += l
+	}
+	return boundary{
+		at:         time.Since(h.epoch),
+		snap:       h.tracer.Snapshot(),
+		framesSent: sent,
+		framesLost: lost,
+		live:       len(h.liveAllLocked()),
+	}
+}
+
+// liveAllLocked returns every live participant in ascending id order:
+// original nodes that have not failed or left, plus joiners that entered
+// the overlay and are still up. Callers hold h.mu.
+func (h *Harness) liveAllLocked() []int {
+	var live []int
+	for i := 0; i < h.spec.Nodes; i++ {
+		if !h.failed[peer.ID(i)] {
+			live = append(live, i)
+		}
+	}
+	for i := h.spec.Nodes; i < h.spec.Nodes+h.spec.Joiners(); i++ {
+		id := peer.ID(i)
+		if _, joined := h.joined[id]; joined && !h.failed[id] {
+			live = append(live, i)
+		}
+	}
+	return live
+}
+
+// event is one scheduled action on the wall-clock timeline of a phase.
+type event struct {
+	at time.Duration // virtual offset within the phase
+	fn func()
+}
+
+// Run starts the fleet, plays every phase back to back with wall-clock
+// pacing, drains, closes every peer, and reports the same overall and
+// per-phase metrics the simulator reports. It can only be called once.
+func (h *Harness) Run() (*scenario.Report, error) {
+	if h.ran {
+		return nil, fmt.Errorf("live: harness already ran")
+	}
+	h.ran = true
+	h.epoch = time.Now()
+
+	// Start the initial fleet on ephemeral ports, then wire every
+	// address book once all listeners are bound.
+	for i := 0; i < h.spec.Nodes; i++ {
+		cfg := h.peerConfig(i)
+		cfg.Bootstrap = make([]emcast.NodeID, 0, h.spec.Nodes-1)
+		for j := 0; j < h.spec.Nodes; j++ {
+			if j != i {
+				cfg.Bootstrap = append(cfg.Bootstrap, emcast.NodeID(j))
+			}
+		}
+		p, err := emcast.NewPeer(cfg)
+		if err != nil {
+			h.shutdown()
+			return nil, fmt.Errorf("live: peer %d: %v", i, err)
+		}
+		h.peers[i] = p
+		h.addrs[emcast.NodeID(i)] = p.Addr()
+	}
+	for i, p := range h.peers {
+		for id, addr := range h.addrs {
+			if emcast.NodeID(i) != id {
+				p.AddPeer(id, addr)
+			}
+		}
+	}
+	defer h.shutdown()
+
+	h.logf("live: %d peers up, warming %v", h.spec.Nodes, h.opts.Warmup)
+	time.Sleep(h.opts.Warmup)
+
+	bounds := make([]boundary, 0, len(h.spec.Phases)+1)
+	bounds = append(bounds, h.boundary())
+	starts := make([]time.Duration, len(h.spec.Phases))
+	for i := range h.spec.Phases {
+		p := &h.spec.Phases[i]
+		h.logf("live: phase %q (%v over %v wall)", p.Name, p.Duration.D(), h.wall(p.Duration.D()))
+		starts[i] = time.Since(h.epoch)
+		h.playPhase(i, p)
+		if i == len(h.spec.Phases)-1 {
+			// The drain belongs to the last phase's interval, the
+			// simulator's convention.
+			time.Sleep(h.opts.Drain)
+		}
+		bounds = append(bounds, h.boundary())
+	}
+	return h.report(starts, bounds), nil
+}
+
+// playPhase schedules every traffic arrival, churn sub-event and network
+// event of the phase on one sorted timeline and executes it with
+// wall-clock pacing.
+func (h *Harness) playPhase(phase int, p *scenario.Phase) {
+	var events []event
+	add := func(at time.Duration, fn func()) {
+		events = append(events, event{at: at, fn: fn})
+	}
+	for i := range p.Traffic {
+		t := &p.Traffic[i]
+		// Same stream seeds as the simulator engine, so a given spec
+		// fires the same virtual-time arrival schedule live and
+		// simulated.
+		st := scenario.NewStream(t, scenario.StreamSeed(h.spec.Seed, phase, i), h.spec.Nodes)
+		for _, at := range st.Arrivals(p.Duration.D()) {
+			add(at, func() { h.fire(phase, st) })
+		}
+	}
+	for i := range p.Churn {
+		h.scheduleChurn(&p.Churn[i], add)
+	}
+	for i := range p.Network {
+		ev := p.Network[i]
+		add(ev.At.D(), func() { h.applyNetEvent(&ev) })
+	}
+
+	// Stable sort: same-instant events run in spec order.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].at < events[j].at })
+	start := time.Now()
+	for i := range events {
+		sleepUntil(start.Add(h.wall(events[i].at)))
+		events[i].fn()
+	}
+	sleepUntil(start.Add(h.wall(p.Duration.D())))
+}
+
+func sleepUntil(t time.Time) {
+	if d := time.Until(t); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// fire sends one message of a stream from a live participant, or counts
+// a skip when the chosen source is dead — the simulator's semantics.
+func (h *Harness) fire(phase int, st *scenario.Stream) {
+	h.mu.Lock()
+	live := h.liveAllLocked()
+	node, ok := st.PickSender(live, func(n int) bool { return !h.failed[peer.ID(n)] })
+	var p *emcast.Peer
+	if ok {
+		p = h.peers[node]
+	}
+	if p == nil {
+		h.skipped[phase]++
+		h.mu.Unlock()
+		return
+	}
+	payload := st.Payload()
+	h.mu.Unlock()
+	p.Multicast(payload)
+}
+
+// scheduleChurn expands one churn event into timed sub-events through
+// the same sizing (Spec.ChurnCount) and wave shape (scenario.Stagger)
+// the simulator engine uses, so a given Spec fires churn at the same
+// virtual offsets in both; node picks happen at fire time against the
+// then-current live set.
+func (h *Harness) scheduleChurn(c *scenario.ChurnSpec, add func(time.Duration, func())) {
+	k := h.spec.ChurnCount(c)
+	switch c.Kind {
+	case scenario.ChurnFlashCrowd:
+		add(c.At.D(), func() {
+			for i := 0; i < k; i++ {
+				h.join()
+			}
+		})
+	case scenario.ChurnJoinWave:
+		for i := 0; i < k; i++ {
+			add(c.At.D()+scenario.Stagger(i, k, c.Over.D()), func() { h.join() })
+		}
+	case scenario.ChurnLeaveWave:
+		for i := 0; i < k; i++ {
+			add(c.At.D()+scenario.Stagger(i, k, c.Over.D()), func() { h.kill(true) })
+		}
+	case scenario.ChurnCrashWave:
+		for i := 0; i < k; i++ {
+			add(c.At.D()+scenario.Stagger(i, k, c.Over.D()), func() { h.kill(false) })
+		}
+	}
+}
+
+// join starts the next provisioned joiner on an ephemeral port, makes it
+// reachable everywhere, and introduces it through a random live contact —
+// the Join protocol, exactly as a fresh machine would enter.
+func (h *Harness) join() {
+	h.mu.Lock()
+	live := h.liveAllLocked()
+	if len(live) == 0 {
+		h.mu.Unlock()
+		return // no overlay left to join
+	}
+	node := h.nextJoiner
+	h.nextJoiner++
+	contact := live[h.rng.Intn(len(live))]
+	book := make(map[emcast.NodeID]string, len(h.addrs))
+	for id, addr := range h.addrs {
+		book[id] = addr
+	}
+	h.mu.Unlock()
+
+	cfg := h.peerConfig(node)
+	cfg.Peers = book
+	cfg.Bootstrap = []emcast.NodeID{} // outside the overlay until Join
+	p, err := emcast.NewPeer(cfg)
+	if err != nil {
+		h.logf("live: joiner %d failed to start: %v", node, err)
+		return
+	}
+
+	h.mu.Lock()
+	h.peers[node] = p
+	h.addrs[emcast.NodeID(node)] = p.Addr()
+	h.joined[peer.ID(node)] = time.Since(h.epoch)
+	others := make([]*emcast.Peer, 0, len(h.peers))
+	for i, q := range h.peers {
+		if i != node {
+			others = append(others, q)
+		}
+	}
+	h.mu.Unlock()
+
+	for _, q := range others {
+		q.AddPeer(emcast.NodeID(node), p.Addr())
+	}
+	h.logf("live: node %d joining via %d", node, contact)
+	p.Join(emcast.NodeID(contact))
+}
+
+// kill removes one random live participant: gracefully (leave — the peer
+// closes its transport) or hard (crash — the link filter silences it
+// instantly, then the process state is torn down in the background, so
+// peers see it stop responding rather than say goodbye).
+func (h *Harness) kill(leave bool) {
+	h.mu.Lock()
+	live := h.liveAllLocked()
+	if len(live) <= 1 {
+		h.mu.Unlock()
+		return // never remove the last node
+	}
+	// Keep the last live original: headline metrics are scoped to
+	// original nodes (the simulator engine's convention).
+	originals := 0
+	for _, n := range live {
+		if n < h.spec.Nodes {
+			originals++
+		}
+	}
+	if originals <= 1 {
+		joiners := live[:0]
+		for _, n := range live {
+			if n >= h.spec.Nodes {
+				joiners = append(joiners, n)
+			}
+		}
+		if len(joiners) == 0 {
+			h.mu.Unlock()
+			return
+		}
+		live = joiners
+	}
+	victim := live[h.rng.Intn(len(live))]
+	p := h.peers[victim]
+	delete(h.peers, victim)
+	h.failed[peer.ID(victim)] = true
+	if p != nil {
+		s, l := p.Frames()
+		h.retiredSent += s
+		h.retiredLost += l
+	}
+	h.mu.Unlock()
+
+	if p == nil {
+		return
+	}
+	if !leave {
+		h.fmu.Lock()
+		h.dead[emcast.NodeID(victim)] = true
+		h.fmu.Unlock()
+	}
+	h.logf("live: node %d %s", victim, map[bool]string{true: "leaves", false: "crashes"}[leave])
+	h.closing.Add(1)
+	go func() {
+		defer h.closing.Done()
+		p.Close()
+	}()
+}
+
+// applyNetEvent applies a partition or heal to the shared link filter.
+func (h *Harness) applyNetEvent(ev *scenario.NetEvent) {
+	switch ev.Kind {
+	case scenario.NetPartition:
+		groups := ev.Groups
+		if len(groups) == 0 {
+			// Split shorthand: the first Split fraction of the initial
+			// nodes against everyone else (the engine's convention).
+			k := int(ev.Split*float64(h.spec.Nodes) + 0.5)
+			side := make([]int, k)
+			for i := range side {
+				side[i] = i
+			}
+			groups = [][]int{side}
+		}
+		sides := make(map[emcast.NodeID]int, len(groups))
+		for s, group := range groups {
+			for _, n := range group {
+				sides[emcast.NodeID(n)] = s
+			}
+		}
+		h.logf("live: partition into %d explicit sides", len(groups))
+		h.fmu.Lock()
+		h.side = sides
+		h.fmu.Unlock()
+	case scenario.NetHeal:
+		h.logf("live: heal")
+		h.fmu.Lock()
+		h.side = nil
+		h.fmu.Unlock()
+	}
+}
+
+// shutdown closes every remaining peer and waits for background closes.
+func (h *Harness) shutdown() {
+	h.mu.Lock()
+	peers := make([]*emcast.Peer, 0, len(h.peers))
+	for i, p := range h.peers {
+		s, l := p.Frames()
+		h.retiredSent += s
+		h.retiredLost += l
+		peers = append(peers, p)
+		delete(h.peers, i)
+	}
+	h.mu.Unlock()
+	for _, p := range peers {
+		h.closing.Add(1)
+		go func(p *emcast.Peer) {
+			defer h.closing.Done()
+			p.Close()
+		}(p)
+	}
+	h.closing.Wait()
+}
+
+// report assembles the scenario.Report from the final trace snapshot and
+// the phase boundaries, through the same shared metric pipeline the
+// simulator engine uses (sim.WindowResult, scenario.MetricsFromResult).
+func (h *Harness) report(starts []time.Duration, bounds []boundary) *scenario.Report {
+	h.mu.Lock()
+	liveSet := make(map[peer.ID]bool, h.spec.Nodes)
+	for i := 0; i < h.spec.Nodes; i++ {
+		if !h.failed[peer.ID(i)] {
+			liveSet[peer.ID(i)] = true
+		}
+	}
+	joined := make(map[peer.ID]time.Duration, len(h.joined))
+	for id, at := range h.joined {
+		joined[id] = at
+	}
+	failed := make(map[peer.ID]bool, len(h.failed))
+	for id := range h.failed {
+		failed[id] = true
+	}
+	skipped := append([]int(nil), h.skipped...)
+	h.mu.Unlock()
+
+	rep := &scenario.Report{
+		Scenario: h.spec.Name,
+		Seed:     h.spec.Seed,
+		Strategy: h.spec.Strategy,
+		Nodes:    h.spec.Nodes,
+		Joiners:  h.spec.Joiners(),
+		Elapsed:  scenario.Duration(bounds[len(bounds)-1].at),
+	}
+
+	last := bounds[len(bounds)-1]
+	snap := last.snap
+	overall := sim.WindowResult(snap, liveSet, 0, math.MaxInt64)
+	overall.JoinerCoverage = sim.SnapshotJoinerCoverage(snap, joined,
+		func(id peer.ID) bool { return failed[id] }, h.wall(2*time.Second))
+	rep.Overall = scenario.MetricsFromResult(overall, 0, last.live)
+	rep.Overall.AddCounters(bounds[0].snap, last.snap,
+		last.framesSent-bounds[0].framesSent, last.framesLost-bounds[0].framesLost)
+	for _, k := range skipped {
+		rep.Overall.SkippedSends += k
+	}
+
+	for i := range h.spec.Phases {
+		p := &h.spec.Phases[i]
+		prev, cur := bounds[i], bounds[i+1]
+		end := starts[i] + h.wall(p.Duration.D())
+		res := sim.WindowResult(snap, liveSet, starts[i], end)
+		m := scenario.MetricsFromResult(res, skipped[i], cur.live)
+		if off, disrupted := scenario.Disruption(p); disrupted {
+			event := starts[i] + h.wall(off.D())
+			switch rec, recovered, measured := sim.SnapshotRecovery(snap, liveSet, event, end); {
+			case !measured:
+				// No traffic after the event: nothing to judge by.
+			case recovered:
+				m.RecoveryMS = float64(rec) / float64(time.Millisecond)
+			default:
+				m.RecoveryMS = -1
+			}
+		}
+		switch {
+		case m.RecoveryMS < 0:
+			rep.Overall.RecoveryMS = -1
+		case rep.Overall.RecoveryMS >= 0 && m.RecoveryMS > rep.Overall.RecoveryMS:
+			rep.Overall.RecoveryMS = m.RecoveryMS
+		}
+		m.AddCounters(prev.snap, cur.snap,
+			cur.framesSent-prev.framesSent, cur.framesLost-prev.framesLost)
+		rep.Phases = append(rep.Phases, scenario.PhaseReport{
+			Name:    p.Name,
+			StartMS: float64(starts[i]) / float64(time.Millisecond),
+			EndMS:   float64(cur.at) / float64(time.Millisecond),
+			Metrics: m,
+		})
+	}
+	return rep
+}

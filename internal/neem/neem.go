@@ -18,6 +18,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"emcast/internal/peer"
@@ -39,12 +40,21 @@ type Config struct {
 	Self peer.ID
 	// ListenAddr is the TCP address to accept connections on.
 	ListenAddr string
-	// Peers maps every remote node identifier to its address. (A
-	// static address book; discovery is out of scope, as in the
-	// paper's testbed where membership is bootstrapped explicitly.)
+	// Peers maps every remote node identifier to its address. (The
+	// initial address book; AddPeer extends it at run time, so churned
+	// deployments can introduce nodes after start-up. Discovery is out
+	// of scope, as in the paper's testbed where membership is
+	// bootstrapped explicitly.) The map is copied at Listen.
 	Peers map[peer.ID]string
 	// DialTimeout bounds connection establishment. Zero means 3 s.
 	DialTimeout time.Duration
+	// Filter, when set, is consulted for every frame in both directions:
+	// a frame from a to b is carried only when Filter(a, b) is true.
+	// Dropped frames count as lost. This emulates network partitions and
+	// crashed processes without OS-level tricks; the closure may read
+	// shared mutable state (it is called concurrently from transport
+	// goroutines), so a harness can flip partitions mid-run.
+	Filter func(from, to peer.ID) bool
 }
 
 // Transport is a TCP-backed peer.Transport.
@@ -53,16 +63,24 @@ type Transport struct {
 	listener net.Listener
 	handler  Handler
 
+	framesSent atomic.Uint64
+	framesLost atomic.Uint64
+
 	mu       sync.Mutex
+	peers    map[peer.ID]string
 	conns    map[peer.ID]*conn
 	accepted map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
 }
 
+// conn is one outbound connection's state. The queue is never closed —
+// concurrent Sends would race a close and panic; instead done is closed
+// at transport shutdown and every loop selects on it.
 type conn struct {
 	to      peer.ID
 	queue   chan []byte
+	done    chan struct{}
 	dropped int
 	c       net.Conn
 	mu      sync.Mutex
@@ -83,8 +101,12 @@ func Listen(cfg Config, handler Handler) (*Transport, error) {
 		cfg:      cfg,
 		listener: l,
 		handler:  handler,
+		peers:    make(map[peer.ID]string, len(cfg.Peers)),
 		conns:    make(map[peer.ID]*conn),
 		accepted: make(map[net.Conn]struct{}),
+	}
+	for id, addr := range cfg.Peers {
+		t.peers[id] = addr
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -106,9 +128,13 @@ func (t *Transport) Local() peer.ID { return t.cfg.Self }
 
 // Send implements peer.Transport: the frame is queued for asynchronous
 // transmission; when the queue is full the oldest frame is purged, and
-// frames to unknown or unreachable peers are dropped silently — the
-// protocol's lazy layer recovers via retransmission requests.
+// frames to unknown, filtered or unreachable peers are dropped silently —
+// the protocol's lazy layer recovers via retransmission requests.
 func (t *Transport) Send(to peer.ID, frame []byte) {
+	if f := t.cfg.Filter; f != nil && !f(t.cfg.Self, to) {
+		t.framesLost.Add(1)
+		return
+	}
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -116,12 +142,13 @@ func (t *Transport) Send(to peer.ID, frame []byte) {
 	}
 	c, ok := t.conns[to]
 	if !ok {
-		addr, known := t.cfg.Peers[to]
+		addr, known := t.peers[to]
 		if !known {
 			t.mu.Unlock()
+			t.framesLost.Add(1)
 			return
 		}
-		c = &conn{to: to, queue: make(chan []byte, sendQueueSize)}
+		c = &conn{to: to, queue: make(chan []byte, sendQueueSize), done: make(chan struct{})}
 		t.conns[to] = c
 		t.wg.Add(1)
 		go t.writeLoop(c, addr)
@@ -132,6 +159,9 @@ func (t *Transport) Send(to peer.ID, frame []byte) {
 	for {
 		select {
 		case c.queue <- cp:
+			return
+		case <-c.done:
+			t.framesLost.Add(1)
 			return
 		default:
 			// Queue full: purge the oldest frame and retry.
@@ -150,6 +180,10 @@ func (t *Transport) Send(to peer.ID, frame []byte) {
 func (t *Transport) Dropped() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.purgedLocked()
+}
+
+func (t *Transport) purgedLocked() int {
 	total := 0
 	for _, c := range t.conns {
 		c.mu.Lock()
@@ -157,6 +191,26 @@ func (t *Transport) Dropped() int {
 		c.mu.Unlock()
 	}
 	return total
+}
+
+// AddPeer adds (or updates) an address-book entry at run time, so nodes
+// that appear after start-up — late joiners with ephemeral listen ports —
+// become reachable without restarting the transport.
+func (t *Transport) AddPeer(id peer.ID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[id] = addr
+}
+
+// Counters returns the transport's cumulative frame counters: frames
+// written to sockets, and frames lost before transmission (purged from a
+// full send queue, dropped by the filter, or addressed to an unknown
+// peer).
+func (t *Transport) Counters() (sent, lost uint64) {
+	t.mu.Lock()
+	purged := uint64(t.purgedLocked())
+	t.mu.Unlock()
+	return t.framesSent.Load(), t.framesLost.Load() + purged
 }
 
 // Close shuts the transport down and waits for its goroutines.
@@ -179,7 +233,7 @@ func (t *Transport) Close() error {
 
 	err := t.listener.Close()
 	for _, c := range conns {
-		close(c.queue)
+		close(c.done)
 	}
 	for _, nc := range inbound {
 		nc.Close()
@@ -226,6 +280,9 @@ func (t *Transport) readLoop(nc net.Conn) {
 		if err != nil {
 			return
 		}
+		if f := t.cfg.Filter; f != nil && !f(from, t.cfg.Self) {
+			continue // partitioned or crashed sender: drop on the floor
+		}
 		t.mu.Lock()
 		h := t.handler
 		t.mu.Unlock()
@@ -239,37 +296,76 @@ func (t *Transport) writeLoop(c *conn, addr string) {
 	defer t.wg.Done()
 	nc, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
 	if err != nil {
-		// Drain until closed; the peer is unreachable.
-		for range c.queue {
-		}
-		t.forget(c.to)
+		t.abandon(c) // the peer is unreachable
 		return
 	}
 	defer nc.Close()
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(t.cfg.Self))
 	if _, err := nc.Write(hdr[:]); err != nil {
-		for range c.queue {
-		}
-		t.forget(c.to)
+		t.abandon(c)
 		return
 	}
-	for frame := range c.queue {
-		if err := writeFrame(nc, frame); err != nil {
-			for range c.queue {
+	for {
+		select {
+		case frame := <-c.queue:
+			if err := writeFrame(nc, frame); err != nil {
+				t.framesLost.Add(1)
+				t.abandon(c)
+				return
 			}
-			t.forget(c.to)
+			t.framesSent.Add(1)
+		case <-c.done:
 			return
 		}
 	}
 }
 
-// forget drops the connection entry so a later Send re-dials.
-func (t *Transport) forget(to peer.ID) {
+// abandon handles a dead outbound connection: the conn lingers in the
+// table for one DialTimeout, absorbing (and discarding) traffic — so an
+// unreachable peer costs one dial attempt per backoff window, not one
+// per frame — then the entry is forgotten so a later Send re-dials, and
+// the goroutine exits. Nothing is parked for the transport's lifetime:
+// under sustained churn the goroutine and conn count stays bounded by
+// the number of currently-unreachable peers.
+func (t *Transport) abandon(c *conn) {
+	backoff := time.After(t.cfg.DialTimeout)
+	for {
+		select {
+		case <-c.queue:
+			t.framesLost.Add(1)
+		case <-backoff:
+			t.forget(c)
+			return
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// forget removes the connection entry so a later Send re-dials, folds
+// its purge counter into the lost total (the conn is about to become
+// unreachable from the accounting walks), and discards whatever frames
+// are still queued. Concurrent Sends holding the stale conn may enqueue
+// a few more frames into the dead queue; they are lost silently, the
+// unreliable-transport contract.
+func (t *Transport) forget(c *conn) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if !t.closed {
-		delete(t.conns, to)
+	if !t.closed && t.conns[c.to] == c {
+		delete(t.conns, c.to)
+	}
+	t.mu.Unlock()
+	c.mu.Lock()
+	t.framesLost.Add(uint64(c.dropped))
+	c.dropped = 0
+	c.mu.Unlock()
+	for {
+		select {
+		case <-c.queue:
+			t.framesLost.Add(1)
+		default:
+			return
+		}
 	}
 }
 
@@ -306,6 +402,11 @@ type Clock struct {
 
 // NewClock returns a clock anchored at now.
 func NewClock() *Clock { return &Clock{start: time.Now()} }
+
+// NewClockAt returns a clock anchored at an explicit instant, so a group
+// of co-hosted peers can share one timeline and their traced event times
+// stay directly comparable.
+func NewClockAt(start time.Time) *Clock { return &Clock{start: start} }
 
 // Now implements peer.Clock.
 func (c *Clock) Now() time.Duration { return time.Since(c.start) }

@@ -25,8 +25,8 @@ func pair(t *testing.T) (*Transport, *Transport, *inbox, *inbox) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { b.Close() })
-	a.cfg.Peers = map[peer.ID]string{2: b.Addr().String()}
-	b.cfg.Peers = map[peer.ID]string{1: a.Addr().String()}
+	a.AddPeer(2, b.Addr().String())
+	b.AddPeer(1, a.Addr().String())
 	return a, b, inA, inB
 }
 
@@ -223,6 +223,36 @@ func TestHandlerSwap(t *testing.T) {
 	}
 }
 
+// TestCloseWithUnreachablePeer pins the shutdown path after a failed
+// dial: the write loop backing an unreachable peer either exits on its
+// own (after the backoff window) or via the conn's done channel — Close
+// must never wait forever on it, and the undeliverable frames must be
+// accounted as lost.
+func TestCloseWithUnreachablePeer(t *testing.T) {
+	in := newInbox()
+	a, err := Listen(Config{Self: 1, ListenAddr: "127.0.0.1:0", DialTimeout: 200 * time.Millisecond}, in.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AddPeer(2, "127.0.0.1:1") // nothing listens there
+	a.Send(2, []byte("into the void"))
+	time.Sleep(500 * time.Millisecond) // let the dial fail and the drain start
+	a.Send(2, []byte("still nothing"))
+	done := make(chan struct{})
+	go func() {
+		a.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on an unreachable peer's write loop")
+	}
+	if _, lost := a.Counters(); lost == 0 {
+		t.Fatal("frames to an unreachable peer not counted as lost")
+	}
+}
+
 func TestManyPeers(t *testing.T) {
 	const n = 6
 	inboxes := make([]*inbox, n)
@@ -238,14 +268,14 @@ func TestManyPeers(t *testing.T) {
 		transports[i] = tr
 		addrs[peer.ID(i)] = tr.Addr().String()
 	}
+	// Wire the address books after every listener is bound — the
+	// run-time AddPeer path late joiners use.
 	for i, tr := range transports {
-		book := make(map[peer.ID]string)
 		for id, addr := range addrs {
 			if int(id) != i {
-				book[id] = addr
+				tr.AddPeer(id, addr)
 			}
 		}
-		tr.cfg.Peers = book
 	}
 	// Everyone sends to everyone.
 	for i, tr := range transports {

@@ -9,7 +9,7 @@ import "time"
 // live set, so overlapping waves compose naturally.
 func (e *Engine) scheduleChurn(c *ChurnSpec) {
 	net := e.runner.Network()
-	k := e.spec.churnCount(c)
+	k := e.spec.ChurnCount(c)
 	switch c.Kind {
 	case ChurnFlashCrowd:
 		joiners := e.takeJoiners(k)
@@ -22,25 +22,27 @@ func (e *Engine) scheduleChurn(c *ChurnSpec) {
 		joiners := e.takeJoiners(k)
 		for i, j := range joiners {
 			j := j
-			net.AfterFunc(c.At.D()+stagger(i, k, c.Over.D()), func() { e.join(j) })
+			net.AfterFunc(c.At.D()+Stagger(i, k, c.Over.D()), func() { e.join(j) })
 		}
 	case ChurnLeaveWave:
 		for i := 0; i < k; i++ {
-			net.AfterFunc(c.At.D()+stagger(i, k, c.Over.D()), func() { e.killRandom(true) })
+			net.AfterFunc(c.At.D()+Stagger(i, k, c.Over.D()), func() { e.killRandom(true) })
 		}
 	case ChurnCrashWave:
 		for i := 0; i < k; i++ {
-			net.AfterFunc(c.At.D()+stagger(i, k, c.Over.D()), func() { e.killRandom(false) })
+			net.AfterFunc(c.At.D()+Stagger(i, k, c.Over.D()), func() { e.killRandom(false) })
 		}
 	case ChurnKillBest:
 		for i := 0; i < k; i++ {
-			net.AfterFunc(c.At.D()+stagger(i, k, c.Over.D()), func() { e.killBest() })
+			net.AfterFunc(c.At.D()+Stagger(i, k, c.Over.D()), func() { e.killBest() })
 		}
 	}
 }
 
-// stagger spaces sub-event i of k evenly over a window.
-func stagger(i, k int, over time.Duration) time.Duration {
+// Stagger spaces sub-event i of k evenly over a window — the wave shape
+// shared by the simulator engine and the live harness, so a given Spec
+// fires churn at the same virtual offsets in both.
+func Stagger(i, k int, over time.Duration) time.Duration {
 	if k <= 0 || over <= 0 {
 		return 0
 	}

@@ -162,8 +162,8 @@ func (e *Engine) schedulePhase(p *Phase) {
 		t := &p.Traffic[i]
 		// Each stream draws from its own RNG, seeded by (scenario seed,
 		// phase, stream), so schedules are independent and reproducible.
-		st := newStream(t, e.spec.Seed^int64(e.cur+1)<<24^int64(i+1)<<16, e.spec.Nodes)
-		for _, at := range st.arrivals(p.Duration.D()) {
+		st := NewStream(t, StreamSeed(e.spec.Seed, e.cur, i), e.spec.Nodes)
+		for _, at := range st.Arrivals(p.Duration.D()) {
 			net.AfterFunc(at, func() { e.fire(st) })
 		}
 	}
@@ -180,14 +180,14 @@ func (e *Engine) schedulePhase(p *Phase) {
 // source is dead. The live set spans original nodes and joined joiners,
 // so round-robin and uniform pickers let joiners send once they are in
 // the overlay; zipf and fixed pickers address original node indices.
-func (e *Engine) fire(st *stream) {
+func (e *Engine) fire(st *Stream) {
 	live := e.runner.LiveAll()
-	node, ok := st.pickSender(live, func(n int) bool { return !e.runner.Failed(n) })
+	node, ok := st.PickSender(live, func(n int) bool { return !e.runner.Failed(n) })
 	if !ok {
 		e.skipped[e.cur]++
 		return
 	}
-	e.runner.MulticastFrom(node, st.payload())
+	e.runner.MulticastFrom(node, st.Payload())
 }
 
 // applyNetEvent applies one network-dynamics event.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"emcast/internal/sim"
+	"emcast/internal/trace"
 )
 
 // Metrics are the measures reported for a whole run or one phase,
@@ -121,6 +122,42 @@ func (m Metrics) line() string {
 	return s
 }
 
+// MetricsFromResult maps a sim.Result's message-scoped figures onto the
+// report's Metrics. Interval-scoped counters are filled separately by
+// AddCounters. Exported so every engine that collects through the shared
+// trace pipeline — the simulator and the live TCP harness — builds
+// byte-compatible reports from one mapping.
+func MetricsFromResult(res sim.Result, skipped, liveNodes int) Metrics {
+	return Metrics{
+		MessagesSent:   res.MessagesSent,
+		SkippedSends:   skipped,
+		Deliveries:     res.Deliveries,
+		DeliveryRate:   res.DeliveryRate,
+		AtomicRate:     res.AtomicRate,
+		JoinerCoverage: res.JoinerCoverage,
+		MeanLatencyMS:  ms(res.MeanLatency),
+		P50LatencyMS:   ms(res.P50Latency),
+		P95LatencyMS:   ms(res.P95Latency),
+		PayloadPerMsg:  res.PayloadPerMsg,
+		LiveNodes:      liveNodes,
+	}
+}
+
+// AddCounters fills the interval-scoped counters — everything that
+// crossed the wire between two trace snapshots — plus the frame counters
+// diffed by the caller (the emulator and the TCP transports count frames
+// differently, but both expose cumulative sent/lost totals).
+func (m *Metrics) AddCounters(prev, cur trace.Snapshot, framesSent, framesLost uint64) {
+	m.EagerPayloads = cur.EagerPayloads - prev.EagerPayloads
+	m.LazyPayloads = cur.LazyPayloads - prev.LazyPayloads
+	m.PayloadBytes = cur.PayloadBytes - prev.PayloadBytes
+	m.ControlFrames = cur.ControlFrames - prev.ControlFrames
+	m.Duplicates = cur.Duplicates - prev.Duplicates
+	m.FramesSent = framesSent
+	m.FramesLost = framesLost
+	m.Top5LinkShare = sim.LinkTopShare(prev, cur, 0.05)
+}
+
 // report assembles the final Report from the phase starts and boundaries.
 func (e *Engine) report(starts []time.Duration, bounds []boundary) *Report {
 	rep := &Report{
@@ -133,18 +170,7 @@ func (e *Engine) report(starts []time.Duration, bounds []boundary) *Report {
 	}
 
 	overall := e.runner.Result()
-	rep.Overall = Metrics{
-		MessagesSent:   overall.MessagesSent,
-		Deliveries:     overall.Deliveries,
-		DeliveryRate:   overall.DeliveryRate,
-		AtomicRate:     overall.AtomicRate,
-		JoinerCoverage: overall.JoinerCoverage,
-		MeanLatencyMS:  ms(overall.MeanLatency),
-		P50LatencyMS:   ms(overall.P50Latency),
-		P95LatencyMS:   ms(overall.P95Latency),
-		PayloadPerMsg:  overall.PayloadPerMsg,
-		LiveNodes:      bounds[len(bounds)-1].live,
-	}
+	rep.Overall = MetricsFromResult(overall, 0, bounds[len(bounds)-1].live)
 	first, last := bounds[0], bounds[len(bounds)-1]
 	fillCounters(&rep.Overall, first, last)
 	for _, k := range e.skipped {
@@ -156,19 +182,8 @@ func (e *Engine) report(starts []time.Duration, bounds []boundary) *Report {
 		prev, cur := bounds[i], bounds[i+1]
 		end := starts[i] + p.Duration.D()
 		res := e.runner.CollectWindow(starts[i], end)
-		m := Metrics{
-			MessagesSent:  res.MessagesSent,
-			SkippedSends:  e.skipped[i],
-			Deliveries:    res.Deliveries,
-			DeliveryRate:  res.DeliveryRate,
-			AtomicRate:    res.AtomicRate,
-			MeanLatencyMS: ms(res.MeanLatency),
-			P50LatencyMS:  ms(res.P50Latency),
-			P95LatencyMS:  ms(res.P95Latency),
-			PayloadPerMsg: res.PayloadPerMsg,
-			LiveNodes:     cur.live,
-		}
-		if off, disrupted := disruption(p); disrupted {
+		m := MetricsFromResult(res, e.skipped[i], cur.live)
+		if off, disrupted := Disruption(p); disrupted {
 			switch rec, recovered, measured := e.runner.RecoveryTime(starts[i]+off.D(), end); {
 			case !measured:
 				// No traffic after the event: nothing to judge recovery
@@ -196,11 +211,13 @@ func (e *Engine) report(starts []time.Duration, bounds []boundary) *Report {
 	return rep
 }
 
-// disruption returns the offset of the phase's first disruptive event —
+// Disruption returns the offset of the phase's first disruptive event —
 // a leave, crash or kill-best churn wave, a partition, or a heal — or
 // false when the phase has none. Joins and network-quality shifts are not
 // disruptions: they never take delivery away from live original nodes.
-func disruption(p *Phase) (Duration, bool) {
+// Exported so the live harness measures recovery against the same event
+// the simulator does.
+func Disruption(p *Phase) (Duration, bool) {
 	found := false
 	var min Duration
 	consider := func(at Duration) {
@@ -226,14 +243,7 @@ func disruption(p *Phase) (Duration, bool) {
 // fillCounters derives the interval-scoped counters between two
 // boundaries.
 func fillCounters(m *Metrics, prev, cur boundary) {
-	m.EagerPayloads = cur.snap.EagerPayloads - prev.snap.EagerPayloads
-	m.LazyPayloads = cur.snap.LazyPayloads - prev.snap.LazyPayloads
-	m.PayloadBytes = cur.snap.PayloadBytes - prev.snap.PayloadBytes
-	m.ControlFrames = cur.snap.ControlFrames - prev.snap.ControlFrames
-	m.Duplicates = cur.snap.Duplicates - prev.snap.Duplicates
-	m.FramesSent = cur.framesSent - prev.framesSent
-	m.FramesLost = cur.framesLost - prev.framesLost
-	m.Top5LinkShare = sim.LinkTopShare(prev.snap, cur.snap, 0.05)
+	m.AddCounters(prev.snap, cur.snap, cur.framesSent-prev.framesSent, cur.framesLost-prev.framesLost)
 }
 
 func ms(d time.Duration) float64 {

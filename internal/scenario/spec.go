@@ -443,8 +443,11 @@ func (s *Spec) validatePhase(p *Phase) error {
 	return nil
 }
 
-// churnCount resolves a churn event's size against the initial overlay.
-func (s *Spec) churnCount(c *ChurnSpec) int {
+// ChurnCount resolves a churn event's size against the initial overlay:
+// Count when set, else Fraction of Spec.Nodes rounded half-up. Exported
+// so every engine playing a Spec — the simulator and the live harness —
+// sizes waves from one definition.
+func (s *Spec) ChurnCount(c *ChurnSpec) int {
 	if c.Count > 0 {
 		return c.Count
 	}
@@ -459,7 +462,7 @@ func (s *Spec) Joiners() int {
 		for j := range s.Phases[i].Churn {
 			c := &s.Phases[i].Churn[j]
 			if c.Kind == ChurnJoinWave || c.Kind == ChurnFlashCrowd {
-				total += s.churnCount(c)
+				total += s.ChurnCount(c)
 			}
 		}
 	}

@@ -5,28 +5,39 @@ import (
 	"time"
 )
 
-// stream is the run-time state of one TrafficSpec: a dedicated RNG (so
+// Stream is the run-time state of one TrafficSpec: a dedicated RNG (so
 // streams stay independent and the schedule stays reproducible when
 // streams are added or removed), the precomputed arrival process and the
-// sender-picker state.
-type stream struct {
+// sender-picker state. It is exported so engines beyond the simulator —
+// the live TCP harness — replay the exact same schedules from the same
+// seeds.
+type Stream struct {
 	spec *TrafficSpec
 	rng  *rand.Rand
 	zipf *rand.Zipf
 	rr   int // round-robin cursor (live list or fixed list)
 }
 
-func newStream(spec *TrafficSpec, seed int64, nodes int) *stream {
-	s := &stream{spec: spec, rng: rand.New(rand.NewSource(seed))}
+// NewStream builds the run-time state for one traffic stream. nodes is
+// the initial overlay size (zipf senders address initial node indices).
+func NewStream(spec *TrafficSpec, seed int64, nodes int) *Stream {
+	s := &Stream{spec: spec, rng: rand.New(rand.NewSource(seed))}
 	if spec.Senders == SendersZipf {
 		s.zipf = rand.NewZipf(s.rng, spec.ZipfS, 1, uint64(nodes-1))
 	}
 	return s
 }
 
-// arrivals precomputes the stream's message times as offsets within a
+// StreamSeed derives the RNG seed for stream j of phase i, from the
+// scenario seed. Every engine (simulator, live harness) uses this same
+// derivation, so a given spec fires the same arrival schedule everywhere.
+func StreamSeed(specSeed int64, phase, stream int) int64 {
+	return specSeed ^ int64(phase+1)<<24 ^ int64(stream+1)<<16
+}
+
+// Arrivals precomputes the stream's message times as offsets within a
 // phase of the given length, according to the arrival process.
-func (s *stream) arrivals(dur time.Duration) []time.Duration {
+func (s *Stream) Arrivals(dur time.Duration) []time.Duration {
 	spec := s.spec
 	mean := time.Duration(float64(time.Second) / spec.Rate)
 	var out []time.Duration
@@ -51,17 +62,17 @@ func (s *stream) arrivals(dur time.Duration) []time.Duration {
 }
 
 // exp draws an exponential gap with the given mean.
-func (s *stream) exp(mean time.Duration) time.Duration {
+func (s *Stream) exp(mean time.Duration) time.Duration {
 	return time.Duration(s.rng.ExpFloat64() * float64(mean))
 }
 
-// pickSender chooses the origin for the next message. live is the current
-// set of live initial nodes; alive reports liveness for any initial node.
+// PickSender chooses the origin for the next message. live is the current
+// set of live participants; alive reports liveness for any initial node.
 // ok is false when the message must be skipped — its source is dead (zipf
 // hotspots and fixed senders are not remapped: a dead source's traffic
 // disappears, which is exactly the effect worth measuring) or nothing is
 // live.
-func (s *stream) pickSender(live []int, alive func(int) bool) (node int, ok bool) {
+func (s *Stream) PickSender(live []int, alive func(int) bool) (node int, ok bool) {
 	switch s.spec.Senders {
 	case SendersUniform:
 		if len(live) == 0 {
@@ -85,9 +96,9 @@ func (s *stream) pickSender(live []int, alive func(int) bool) (node int, ok bool
 	}
 }
 
-// payload materialises one message payload, drawing the size uniformly
+// Payload materialises one message payload, drawing the size uniformly
 // from [PayloadSize, PayloadMax] when a range is configured.
-func (s *stream) payload() []byte {
+func (s *Stream) Payload() []byte {
 	size := s.spec.PayloadSize
 	if s.spec.PayloadMax > size {
 		size += s.rng.Intn(s.spec.PayloadMax - size + 1)

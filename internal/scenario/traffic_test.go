@@ -14,8 +14,8 @@ func alive(dead ...int) func(int) bool {
 }
 
 func TestConstantArrivals(t *testing.T) {
-	st := newStream(&TrafficSpec{Kind: TrafficConstant, Rate: 2}, 1, 10)
-	got := st.arrivals(10 * time.Second)
+	st := NewStream(&TrafficSpec{Kind: TrafficConstant, Rate: 2}, 1, 10)
+	got := st.Arrivals(10 * time.Second)
 	if len(got) != 19 {
 		t.Fatalf("constant 2/s over 10s: %d arrivals, want 19", len(got))
 	}
@@ -28,8 +28,8 @@ func TestConstantArrivals(t *testing.T) {
 }
 
 func TestPoissonArrivals(t *testing.T) {
-	st := newStream(&TrafficSpec{Kind: TrafficPoisson, Rate: 5}, 7, 10)
-	got := st.arrivals(100 * time.Second)
+	st := NewStream(&TrafficSpec{Kind: TrafficPoisson, Rate: 5}, 7, 10)
+	got := st.Arrivals(100 * time.Second)
 	// Mean 500; allow a generous band for a single sample path.
 	if len(got) < 350 || len(got) > 650 {
 		t.Fatalf("poisson 5/s over 100s: %d arrivals, want ~500", len(got))
@@ -40,7 +40,7 @@ func TestPoissonArrivals(t *testing.T) {
 		}
 	}
 	// Same seed, same schedule.
-	again := newStream(&TrafficSpec{Kind: TrafficPoisson, Rate: 5}, 7, 10).arrivals(100 * time.Second)
+	again := NewStream(&TrafficSpec{Kind: TrafficPoisson, Rate: 5}, 7, 10).Arrivals(100 * time.Second)
 	if len(again) != len(got) {
 		t.Fatalf("same seed produced %d then %d arrivals", len(got), len(again))
 	}
@@ -56,8 +56,8 @@ func TestBurstArrivalsStayInOnWindows(t *testing.T) {
 		Kind: TrafficBurst, Rate: 10,
 		OnPeriod: Duration(2 * time.Second), OffPeriod: Duration(8 * time.Second),
 	}
-	st := newStream(spec, 3, 10)
-	got := st.arrivals(100 * time.Second)
+	st := NewStream(spec, 3, 10)
+	got := st.Arrivals(100 * time.Second)
 	if len(got) == 0 {
 		t.Fatal("no burst arrivals")
 	}
@@ -74,24 +74,24 @@ func TestBurstArrivalsStayInOnWindows(t *testing.T) {
 }
 
 func TestRoundRobinSendersRotate(t *testing.T) {
-	st := newStream(&TrafficSpec{Kind: TrafficConstant, Rate: 1, Senders: SendersRoundRobin}, 1, 4)
+	st := NewStream(&TrafficSpec{Kind: TrafficConstant, Rate: 1, Senders: SendersRoundRobin}, 1, 4)
 	live := []int{0, 1, 2, 3}
 	for i := 0; i < 8; i++ {
-		n, ok := st.pickSender(live, alive())
+		n, ok := st.PickSender(live, alive())
 		if !ok || n != i%4 {
 			t.Fatalf("pick %d = %d,%v, want %d,true", i, n, ok, i%4)
 		}
 	}
-	if _, ok := st.pickSender(nil, alive()); ok {
+	if _, ok := st.PickSender(nil, alive()); ok {
 		t.Fatal("picked a sender from an empty live set")
 	}
 }
 
 func TestUniformSendersStayLive(t *testing.T) {
-	st := newStream(&TrafficSpec{Kind: TrafficConstant, Rate: 1, Senders: SendersUniform}, 1, 10)
+	st := NewStream(&TrafficSpec{Kind: TrafficConstant, Rate: 1, Senders: SendersUniform}, 1, 10)
 	live := []int{2, 5, 7}
 	for i := 0; i < 50; i++ {
-		n, ok := st.pickSender(live, alive())
+		n, ok := st.PickSender(live, alive())
 		if !ok || (n != 2 && n != 5 && n != 7) {
 			t.Fatalf("uniform pick %d = %d,%v outside live set", i, n, ok)
 		}
@@ -99,10 +99,10 @@ func TestUniformSendersStayLive(t *testing.T) {
 }
 
 func TestZipfSendersAreSkewedAndDieWithHotspot(t *testing.T) {
-	st := newStream(&TrafficSpec{Kind: TrafficConstant, Rate: 1, Senders: SendersZipf, ZipfS: 1.5}, 1, 100)
+	st := NewStream(&TrafficSpec{Kind: TrafficConstant, Rate: 1, Senders: SendersZipf, ZipfS: 1.5}, 1, 100)
 	counts := make(map[int]int)
 	for i := 0; i < 2000; i++ {
-		n, ok := st.pickSender(nil, alive())
+		n, ok := st.PickSender(nil, alive())
 		if !ok {
 			t.Fatal("zipf skipped with everyone alive")
 		}
@@ -114,7 +114,7 @@ func TestZipfSendersAreSkewedAndDieWithHotspot(t *testing.T) {
 	// Kill the hotspot: its draws must be skipped, not remapped.
 	skipped := 0
 	for i := 0; i < 200; i++ {
-		if n, ok := st.pickSender(nil, alive(0)); !ok {
+		if n, ok := st.PickSender(nil, alive(0)); !ok {
 			skipped++
 		} else if n == 0 {
 			t.Fatal("picked the dead hotspot")
@@ -127,28 +127,28 @@ func TestZipfSendersAreSkewedAndDieWithHotspot(t *testing.T) {
 
 func TestFixedSendersRotateAndSkipDead(t *testing.T) {
 	spec := &TrafficSpec{Kind: TrafficConstant, Rate: 1, Senders: SendersFixed, FixedSenders: []int{4, 9}}
-	st := newStream(spec, 1, 10)
+	st := NewStream(spec, 1, 10)
 	seq := []int{4, 9, 4, 9}
 	for i, want := range seq {
-		n, ok := st.pickSender(nil, alive())
+		n, ok := st.PickSender(nil, alive())
 		if !ok || n != want {
 			t.Fatalf("fixed pick %d = %d,%v, want %d,true", i, n, ok, want)
 		}
 	}
-	if _, ok := st.pickSender(nil, alive(4)); ok {
+	if _, ok := st.PickSender(nil, alive(4)); ok {
 		t.Fatal("dead fixed sender not skipped")
 	}
 }
 
 func TestPayloadSizing(t *testing.T) {
-	st := newStream(&TrafficSpec{Kind: TrafficConstant, Rate: 1, PayloadSize: 256}, 1, 10)
-	if got := len(st.payload()); got != 256 {
+	st := NewStream(&TrafficSpec{Kind: TrafficConstant, Rate: 1, PayloadSize: 256}, 1, 10)
+	if got := len(st.Payload()); got != 256 {
 		t.Fatalf("fixed payload size %d, want 256", got)
 	}
-	ranged := newStream(&TrafficSpec{Kind: TrafficConstant, Rate: 1, PayloadSize: 100, PayloadMax: 200}, 1, 10)
+	ranged := NewStream(&TrafficSpec{Kind: TrafficConstant, Rate: 1, PayloadSize: 100, PayloadMax: 200}, 1, 10)
 	sawLow, sawHigh := false, false
 	for i := 0; i < 200; i++ {
-		got := len(ranged.payload())
+		got := len(ranged.Payload())
 		if got < 100 || got > 200 {
 			t.Fatalf("ranged payload size %d outside [100, 200]", got)
 		}

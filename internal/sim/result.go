@@ -182,6 +182,20 @@ func (r *Runner) collect() Result {
 	return res
 }
 
+// liveOriginalSet returns the set of original (non-joiner) nodes that
+// have not failed or left — the denominator the headline metrics are
+// judged against.
+func (r *Runner) liveOriginalSet() map[peer.ID]bool {
+	liveSet := make(map[peer.ID]bool, r.cfg.Nodes)
+	for i := 0; i < r.cfg.Nodes; i++ {
+		id := peer.ID(i)
+		if !r.failed[id] {
+			liveSet[id] = true
+		}
+	}
+	return liveSet
+}
+
 // CollectWindow derives metrics restricted to the messages multicast in
 // the virtual-time window [from, to). Latency, delivery and payload
 // figures are attributed to the exact window messages (payload counts via
@@ -192,18 +206,20 @@ func (r *Runner) collect() Result {
 // left zero; diff Snapshot values taken at the window boundaries for
 // those.
 func (r *Runner) CollectWindow(from, to time.Duration) Result {
-	snap := r.tracer.Snapshot()
-	res := Result{Config: r.cfg, Elapsed: r.elapsed}
+	res := WindowResult(r.tracer.Snapshot(), r.liveOriginalSet(), from, to)
+	res.Config = r.cfg
+	res.Elapsed = r.elapsed
+	return res
+}
 
-	live := 0
-	liveSet := make(map[peer.ID]bool, r.cfg.Nodes)
-	for i := 0; i < r.cfg.Nodes; i++ {
-		id := peer.ID(i)
-		if !r.failed[id] {
-			live++
-			liveSet[id] = true
-		}
-	}
+// WindowResult derives message-scoped metrics from any trace snapshot,
+// restricted to the messages multicast in [from, to) and judged against
+// liveSet — the deployment-neutral core of CollectWindow, shared by the
+// simulator and the live TCP harness (both trace through the same
+// collector, so one metrics pipeline serves both).
+func WindowResult(snap trace.Snapshot, liveSet map[peer.ID]bool, from, to time.Duration) Result {
+	var res Result
+	live := len(liveSet)
 
 	var lat stats.Welford
 	var latencies []float64
@@ -267,16 +283,15 @@ func (r *Runner) CollectWindow(from, to time.Duration) Result {
 // recovery. Liveness is judged against the end-of-run live set, the
 // same convention CollectWindow uses.
 func (r *Runner) RecoveryTime(event, to time.Duration) (rec time.Duration, recovered, measured bool) {
-	snap := r.tracer.Snapshot()
-	live := 0
-	liveSet := make(map[peer.ID]bool, r.cfg.Nodes)
-	for i := 0; i < r.cfg.Nodes; i++ {
-		id := peer.ID(i)
-		if !r.failed[id] {
-			live++
-			liveSet[id] = true
-		}
-	}
+	return SnapshotRecovery(r.tracer.Snapshot(), r.liveOriginalSet(), event, to)
+}
+
+// SnapshotRecovery is the deployment-neutral core of RecoveryTime: it
+// measures time-to-sustained-full-delivery after a disruption from any
+// trace snapshot, judged against liveSet. The live TCP harness shares it
+// with the simulator.
+func SnapshotRecovery(snap trace.Snapshot, liveSet map[peer.ID]bool, event, to time.Duration) (rec time.Duration, recovered, measured bool) {
+	live := len(liveSet)
 	if live == 0 {
 		return 0, false, false
 	}
@@ -341,29 +356,37 @@ func LinkTopShare(prev, cur trace.Snapshot, frac float64) float64 {
 // neutral in churn-free runs). A short grace period after the join absorbs
 // the bootstrap round trip.
 func (r *Runner) joinerCoverage(snap trace.Snapshot) float64 {
-	if len(r.joinedAt) == 0 {
+	return SnapshotJoinerCoverage(snap, r.joinedAt, func(id peer.ID) bool { return r.failed[id] }, 2*time.Second)
+}
+
+// SnapshotJoinerCoverage is the deployment-neutral core of the joiner
+// coverage metric: the mean fraction of post-join messages each surviving
+// joiner delivered, from any trace snapshot. grace absorbs the bootstrap
+// round trip after each join (the simulator uses 2 s of virtual time; the
+// live harness passes a wall-clock value).
+func SnapshotJoinerCoverage(snap trace.Snapshot, joinedAt map[peer.ID]time.Duration, failed func(peer.ID) bool, grace time.Duration) float64 {
+	if len(joinedAt) == 0 {
 		return 1
 	}
-	const grace = 2 * time.Second
 	// Iterate joiners in id order: float summation is not associative,
 	// so map order would leak into the last ulp of the mean and break
 	// byte-exact reproducibility.
-	joiners := make([]peer.ID, 0, len(r.joinedAt))
-	for id := range r.joinedAt {
+	joiners := make([]peer.ID, 0, len(joinedAt))
+	for id := range joinedAt {
 		joiners = append(joiners, id)
 	}
 	sort.Slice(joiners, func(i, j int) bool { return joiners[i] < joiners[j] })
 	var fracs []float64
 	survivors := 0
 	for _, id := range joiners {
-		if r.failed[id] {
+		if failed(id) {
 			// A joiner that later crashed or left measures nothing
 			// about the join path; coverage is over joiners still up
 			// at the end of the run.
 			continue
 		}
 		survivors++
-		joined := r.joinedAt[id]
+		joined := joinedAt[id]
 		eligible, got := 0, 0
 		for _, m := range snap.Messages {
 			if m.SentAt < joined+grace {

@@ -213,3 +213,36 @@ func TestTopShareQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTCrit95(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706}, {2, 4.303}, {4, 2.776}, {30, 2.042}, {31, 1.96}, {1000, 1.96},
+	}
+	for _, c := range cases {
+		if got := TCrit95(c.df); got != c.want {
+			t.Errorf("TCrit95(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	if !math.IsInf(TCrit95(0), 1) {
+		t.Error("TCrit95(0) finite — one sample must not claim an interval")
+	}
+}
+
+func TestCI95TUsesStudentT(t *testing.T) {
+	var w Welford
+	w.Add(10)
+	w.Add(12)
+	// n=2, df=1: half-width is 12.706·s/√2, not the z-based 1.96·s/√2.
+	want := 12.706 * w.StdDev() / math.Sqrt2
+	if got := w.CI95T(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CI95T = %v, want %v", got, want)
+	}
+	var one Welford
+	one.Add(5)
+	if !math.IsInf(one.CI95T(), 1) {
+		t.Fatal("single-sample CI95T finite")
+	}
+}

@@ -20,6 +20,15 @@ type Agg struct {
 	StdDev float64 `json:"stddev"`
 	Min    float64 `json:"min"`
 	Max    float64 `json:"max"`
+	// CI95 is the 95% confidence half-width of the mean, using the
+	// Student's t critical value for the replicate count (at the 2–5
+	// replicates sweeps typically run, the normal approximation's 1.96
+	// would understate the width up to 6.5×); 0 when fewer than two
+	// replicates reported — an undefined interval, which also makes any
+	// winner over it insignificant. The paper claims a difference only
+	// when intervals do not intersect (§5.4); Winner.Significant
+	// applies exactly that rule.
+	CI95 float64 `json:"ci95"`
 }
 
 // aggregate reduces samples to an Agg.
@@ -36,7 +45,16 @@ func aggregateSamples(samples []float64) Agg {
 		}
 	}
 	a.Mean, a.StdDev = w.Mean(), w.StdDev()
+	if a.N >= 2 {
+		a.CI95 = w.CI95T()
+	}
 	return a
+}
+
+// interval returns the aggregate's 95% confidence interval, and whether
+// it is defined (it needs at least two replicates).
+func (a Agg) interval() (stats.Interval, bool) {
+	return stats.Interval{Mean: a.Mean, Half: a.CI95}, a.N >= 2
 }
 
 // Cell is one executed run of the grid with its flattened metrics.
@@ -68,6 +86,12 @@ type Winner struct {
 	Metric   string  `json:"metric"`
 	Strategy string  `json:"strategy"`
 	Mean     float64 `json:"mean"`
+	// Significant is true when the winner's 95% confidence interval
+	// intersects no competitor's interval — the paper's §5.4 convention
+	// for claiming a difference. Winners over overlapping intervals are
+	// still listed (the best mean is the best mean) but flagged as not
+	// statistically separated.
+	Significant bool `json:"significant"`
 }
 
 // Matrix is the aggregated result of a sweep.
@@ -236,25 +260,42 @@ func (m *Matrix) findWinners() {
 			if reported < 2 || !distinct {
 				continue
 			}
+			// §5.4: the difference is claimed only when the winner's
+			// 95% confidence interval intersects no competitor's.
+			significant := true
+			winInt, winDefined := group[bestIdx].Metrics[key].interval()
+			for i, r := range group {
+				a, ok := r.Metrics[key]
+				if i == bestIdx || !ok || a.N == 0 {
+					continue
+				}
+				otherInt, otherDefined := a.interval()
+				if !winDefined || !otherDefined || winInt.Overlaps(otherInt) {
+					significant = false
+					break
+				}
+			}
 			m.Winners = append(m.Winners, Winner{
-				Scenario: group[bestIdx].Scenario,
-				Nodes:    group[bestIdx].Nodes,
-				Metric:   key,
-				Strategy: group[bestIdx].Strategy,
-				Mean:     group[bestIdx].Metrics[key].Mean,
+				Scenario:    group[bestIdx].Scenario,
+				Nodes:       group[bestIdx].Nodes,
+				Metric:      key,
+				Strategy:    group[bestIdx].Strategy,
+				Mean:        group[bestIdx].Metrics[key].Mean,
+				Significant: significant,
 			})
 		}
 	}
 }
 
-// winner looks up the winning strategy for a group metric, or "".
-func (m *Matrix) winner(scen string, nodes int, metric string) string {
-	for _, w := range m.Winners {
+// winner looks up the winner entry for a group metric, or nil.
+func (m *Matrix) winner(scen string, nodes int, metric string) *Winner {
+	for i := range m.Winners {
+		w := &m.Winners[i]
 		if w.Scenario == scen && w.Nodes == nodes && w.Metric == metric {
-			return w.Strategy
+			return w
 		}
 	}
-	return ""
+	return nil
 }
 
 // JSON renders the matrix as indented JSON. Map keys marshal sorted, so
@@ -266,13 +307,13 @@ func (m *Matrix) JSON() ([]byte, error) {
 // CSV renders every aggregate as one scenario,nodes,strategy,metric row.
 func (m *Matrix) CSV() string {
 	var b strings.Builder
-	b.WriteString("scenario,nodes,strategy,metric,n,mean,stddev,min,max\n")
+	b.WriteString("scenario,nodes,strategy,metric,n,mean,stddev,ci95,min,max\n")
 	for _, r := range m.Rows {
 		for _, key := range sortedKeys(r.Metrics) {
 			a := r.Metrics[key]
-			fmt.Fprintf(&b, "%s,%d,%s,%s,%d,%g,%g,%g,%g\n",
+			fmt.Fprintf(&b, "%s,%d,%s,%s,%d,%g,%g,%g,%g,%g\n",
 				experiment.CSVEscape(r.Scenario), r.Nodes, r.Strategy, key,
-				a.N, a.Mean, a.StdDev, a.Min, a.Max)
+				a.N, a.Mean, a.StdDev, a.CI95, a.Min, a.Max)
 		}
 	}
 	return b.String()
@@ -306,15 +347,16 @@ var percentMetrics = map[string]bool{
 	"top5_link_share": true, "joiner_coverage": true, "recovered": true,
 }
 
-// fmtAgg formats mean ± stddev for a table cell.
+// fmtAgg formats mean ± CI95 half-width for a table cell (the quantity
+// §5.4 compares; stddev stays available in the CSV and JSON).
 func fmtAgg(key string, a Agg) string {
 	if a.N == 0 {
 		return "-"
 	}
 	if percentMetrics[key] {
-		return fmt.Sprintf("%.1f±%.1f%%", 100*a.Mean, 100*a.StdDev)
+		return fmt.Sprintf("%.1f±%.1f%%", 100*a.Mean, 100*a.CI95)
 	}
-	return fmt.Sprintf("%.1f±%.1f", a.Mean, a.StdDev)
+	return fmt.Sprintf("%.1f±%.1f", a.Mean, a.CI95)
 }
 
 // Tables renders one comparison table per (scenario, nodes) group:
@@ -356,8 +398,12 @@ func (m *Matrix) Tables() []*experiment.Table {
 					continue
 				}
 				cell := fmtAgg(col.key, r.Metrics[col.key])
-				if cell != "-" && m.winner(r.Scenario, r.Nodes, col.key) == r.Strategy {
-					cell += "*"
+				if w := m.winner(r.Scenario, r.Nodes, col.key); cell != "-" && w != nil && w.Strategy == r.Strategy {
+					if w.Significant {
+						cell += "*"
+					} else {
+						cell += "~"
+					}
 				}
 				row = append(row, cell)
 			}
@@ -374,7 +420,8 @@ func (m *Matrix) header() string {
 	if name == "" {
 		name = "sweep"
 	}
-	return fmt.Sprintf("%s: %d strategies × %d scenarios × %d replicates = %d cells (* = per-metric winner)",
+	return fmt.Sprintf("%s: %d strategies × %d scenarios × %d replicates = %d cells "+
+		"(cells are mean±CI95; * = winner, CI95s separated; ~ = winner, CI95s overlap)",
 		name, len(m.Strategies), len(m.Scenarios), m.Replicates, len(m.Cells))
 }
 

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -178,6 +179,83 @@ func TestNoWinnerOnTies(t *testing.T) {
 		if len(means) < 2 {
 			t.Fatalf("winner %+v starred over identical means", w)
 		}
+	}
+}
+
+// TestAggregateCI95: the confidence half-width follows t·stddev/√n with
+// the Student's t critical value for n−1 degrees of freedom (sweeps run
+// 2–5 replicates, far from normal-approximation territory), and
+// degenerates to 0 (undefined) below two samples instead of the
+// infinity the raw estimator returns — JSON cannot carry Inf.
+func TestAggregateCI95(t *testing.T) {
+	a := aggregateSamples([]float64{10, 12, 14, 16})
+	if a.CI95 <= 0 {
+		t.Fatalf("CI95 = %v, want > 0", a.CI95)
+	}
+	want := 3.182 * a.StdDev / 2 // t(df=3) = 3.182, √4 = 2
+	if diff := a.CI95 - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("CI95 = %v, want %v", a.CI95, want)
+	}
+	// Two replicates: t(df=1) = 12.706, not 1.96 — the z-interval would
+	// claim significance 6.5× too eagerly.
+	pair := aggregateSamples([]float64{10, 12})
+	if want := 12.706 * pair.StdDev / math.Sqrt2; math.Abs(pair.CI95-want) > 1e-9 {
+		t.Fatalf("2-replicate CI95 = %v, want %v", pair.CI95, want)
+	}
+	if single := aggregateSamples([]float64{10}); single.CI95 != 0 {
+		t.Fatalf("single-sample CI95 = %v, want 0", single.CI95)
+	}
+}
+
+// TestWinnerSignificance pins the §5.4 convention: a winner is
+// significant exactly when its 95% confidence interval intersects no
+// competitor's interval.
+func TestWinnerSignificance(t *testing.T) {
+	build := func(aSamples, bSamples []float64) *Matrix {
+		m := &Matrix{Strategies: []string{"a", "b"}}
+		m.Rows = []Row{
+			{Scenario: "s", Strategy: "a", Metrics: map[string]Agg{"delivery_rate": aggregateSamples(aSamples)}},
+			{Scenario: "s", Strategy: "b", Metrics: map[string]Agg{"delivery_rate": aggregateSamples(bSamples)}},
+		}
+		m.findWinners()
+		return m
+	}
+
+	// Clearly separated: tight samples, far apart.
+	m := build([]float64{0.99, 0.99, 0.99}, []float64{0.50, 0.50, 0.51})
+	if len(m.Winners) != 1 {
+		t.Fatalf("winners = %+v", m.Winners)
+	}
+	if w := m.Winners[0]; w.Strategy != "a" || !w.Significant {
+		t.Fatalf("separated intervals not significant: %+v", w)
+	}
+
+	// Overlapping: wide spreads around close means.
+	m = build([]float64{0.7, 0.95, 0.8}, []float64{0.65, 0.9, 0.85})
+	if len(m.Winners) != 1 {
+		t.Fatalf("winners = %+v", m.Winners)
+	}
+	if w := m.Winners[0]; w.Significant {
+		t.Fatalf("overlapping intervals marked significant: %+v", w)
+	}
+
+	// Single replicate: interval undefined, never significant.
+	m = build([]float64{0.99}, []float64{0.5})
+	if len(m.Winners) != 1 || m.Winners[0].Significant {
+		t.Fatalf("undefined interval marked significant: %+v", m.Winners)
+	}
+
+	// Rendering: the significant winner gets "*", the rest "~".
+	m = build([]float64{0.99, 0.99, 0.99}, []float64{0.50, 0.50, 0.51})
+	m.Replicates = 3
+	text := m.Text()
+	if !strings.Contains(text, "*") {
+		t.Fatalf("no star for a significant winner:\n%s", text)
+	}
+	m = build([]float64{0.7, 0.95, 0.8}, []float64{0.65, 0.9, 0.85})
+	m.Replicates = 3
+	if text := m.Text(); !strings.Contains(text, "~") {
+		t.Fatalf("no tilde for an insignificant winner:\n%s", text)
 	}
 }
 

@@ -18,11 +18,18 @@ import (
 type PeerConfig struct {
 	// Self is this node's identifier; it must be unique in the group.
 	Self NodeID
-	// ListenAddr is the TCP address to listen on (e.g. ":7946").
+	// ListenAddr is the TCP address to listen on (e.g. ":7946", or
+	// "127.0.0.1:0" to bind an ephemeral port — read it back with Addr).
 	ListenAddr string
-	// Peers maps every other node's identifier to its address (static
-	// address book).
+	// Peers maps every other node's identifier to its address (the
+	// initial address book; AddPeer extends it at run time).
 	Peers map[NodeID]string
+	// Bootstrap, when non-nil, selects which address-book entries seed
+	// the initial partial view; nil seeds from every entry. An empty
+	// non-nil slice starts the peer outside the overlay — it knows
+	// addresses but no members, the state a fresh node is in before it
+	// calls Join (churn experiments and live scenario playback).
+	Bootstrap []NodeID
 
 	// Strategy selects the transmission strategy. Real deployments
 	// support Eager, Lazy, Flat, TTL, Ranked (with Hubs) and Radius
@@ -49,6 +56,27 @@ type PeerConfig struct {
 	Fanout int
 	// Seed drives protocol randomness. Default: derived from Self.
 	Seed int64
+
+	// LinkFilter, when set, is consulted for every frame in both
+	// directions: a frame from a to b is carried only when
+	// LinkFilter(a, b) is true. It emulates network partitions and
+	// crashed processes without OS-level tricks — the closure may read
+	// shared mutable state (it is called concurrently from transport
+	// goroutines), so tests and the live harness can flip partitions
+	// mid-run. The protocol's lazy layer recovers across heals via
+	// retransmission requests, exactly as it does across real outages.
+	LinkFilter func(from, to NodeID) bool
+
+	// Epoch, when non-zero, anchors this peer's clock so co-hosted
+	// peers sharing one Epoch report event times on one comparable
+	// timeline. Zero anchors at NewPeer time.
+	Epoch time.Time
+
+	// Tracer, when set, receives every protocol event (multicasts,
+	// deliveries, payload and control transmissions). Co-hosted peers
+	// may share one collector — implementations must be safe for
+	// concurrent use. Nil disables tracing.
+	Tracer trace.Tracer
 
 	// OnDeliver is invoked (on a transport goroutine) for every
 	// delivered message.
@@ -77,10 +105,14 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 	}
 
 	clock := neem.NewClock()
+	if !cfg.Epoch.IsZero() {
+		clock = neem.NewClockAt(cfg.Epoch)
+	}
 	transport, err := neem.Listen(neem.Config{
 		Self:       cfg.Self,
 		ListenAddr: cfg.ListenAddr,
 		Peers:      cfg.Peers,
+		Filter:     cfg.LinkFilter,
 	}, nil)
 	if err != nil {
 		return nil, err
@@ -164,10 +196,14 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 			})
 		}
 	}
+	tracer := trace.Tracer(trace.Nop{})
+	if cfg.Tracer != nil {
+		tracer = cfg.Tracer
+	}
 	p.node = core.NewNode(nodeCfg, env, core.Options{
 		Strategy: strat,
 		Deliver:  deliver,
-		Tracer:   trace.Nop{},
+		Tracer:   tracer,
 		EWMA:     ewma,
 		Ranking:  table,
 	})
@@ -176,10 +212,15 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 	}
 	transport.SetHandler(p.node.HandleFrame)
 
-	// Bootstrap: seed the view from the address book.
-	seedPeers := make([]NodeID, 0, len(cfg.Peers))
-	for id := range cfg.Peers {
-		seedPeers = append(seedPeers, id)
+	// Bootstrap: seed the view from the address book, or from the
+	// explicit Bootstrap subset (empty non-nil = start outside the
+	// overlay and Join later).
+	seedPeers := cfg.Bootstrap
+	if seedPeers == nil {
+		seedPeers = make([]NodeID, 0, len(cfg.Peers))
+		for id := range cfg.Peers {
+			seedPeers = append(seedPeers, id)
+		}
 	}
 	p.node.SeedView(seedPeers)
 	p.node.Start()
@@ -191,6 +232,30 @@ func (p *Peer) ID() NodeID { return p.cfg.Self }
 
 // Addr returns the bound listen address (useful with ":0").
 func (p *Peer) Addr() string { return p.transport.Addr().String() }
+
+// AddPeer adds (or updates) an address-book entry at run time, so nodes
+// that appear after start-up — late joiners with ephemeral listen ports —
+// become reachable without restarting the peer.
+func (p *Peer) AddPeer(id NodeID, addr string) {
+	p.transport.AddPeer(id, addr)
+}
+
+// Join introduces this peer to the overlay through a contact node (whose
+// address must be in the address book): the contact answers with a view
+// sample, bootstrapping this peer's partial view. Peers started with an
+// empty Bootstrap use this to enter a running group, mirroring the
+// simulator's churn joins.
+func (p *Peer) Join(contact NodeID) {
+	p.node.Join(contact)
+}
+
+// Frames returns the transport's cumulative frame counters: frames
+// written to sockets, and frames lost before transmission (purged from a
+// full send queue, dropped by the link filter, or addressed to an unknown
+// peer).
+func (p *Peer) Frames() (sent, lost uint64) {
+	return p.transport.Counters()
+}
 
 // Multicast disseminates payload to the whole group.
 func (p *Peer) Multicast(payload []byte) MessageID {
