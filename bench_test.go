@@ -12,6 +12,7 @@ package emcast
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"emcast/internal/sim"
 	"emcast/internal/sweep"
 	"emcast/internal/topology"
+	"emcast/internal/trace"
 )
 
 // benchConfig is the scaled experiment configuration used per iteration:
@@ -409,6 +411,105 @@ func benchSetup(b *testing.B, strat sim.StrategyKind, oracle bool) {
 
 func BenchmarkSetup1kFlat(b *testing.B)   { benchSetup(b, sim.StrategyFlat, false) }
 func BenchmarkSetup1kRanked(b *testing.B) { benchSetup(b, sim.StrategyRanked, true) }
+
+// --- Streaming trace: sweep-cell trace memory at 10k nodes ---
+
+// benchTrace10k replays a synthetic 10k-node trace — 40 messages, every
+// node delivering, fanout-11 payload sends — against one collector and
+// reports the bytes it retains, including three phase-edge captures (a
+// 3-phase scenario run takes one more before traffic starts, when the
+// log is still empty). The full collector retains raw
+// Delivery records and deep-copied boundary snapshots (the pre-streaming
+// pipeline); the streaming collector retains per-message aggregates and
+// O(links) checkpoints. The gap between these two numbers is what lets a
+// 10k-node sweep cell finish in bounded memory.
+func benchTrace10k(b *testing.B, full bool) {
+	const nodes, messages = 10000, 40
+	var retained float64
+	for i := 0; i < b.N; i++ {
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+
+		var tr trace.Reader = trace.NewStreaming()
+		if full {
+			tr = trace.NewCollector()
+		}
+		g := ids.NewGenerator(int64(i + 1))
+		var bounds []interface{}
+		at := time.Duration(0)
+		for m := 0; m < messages; m++ {
+			id := g.Next()
+			origin := peer.ID(m % nodes)
+			at += 50 * time.Millisecond
+			tr.Multicast(origin, id, at)
+			for f := 0; f < 11; f++ {
+				tr.PayloadSent(origin, peer.ID((m+f+1)%nodes), id, 256, true)
+			}
+			for n := 0; n < nodes; n++ {
+				tr.Delivered(peer.ID(n), id, at+time.Duration(n)*time.Microsecond)
+			}
+			if m%(messages/3) == messages/3-1 {
+				// Phase boundary: the old pipeline kept a full deep-copy
+				// snapshot here; the new one keeps a counters+links
+				// checkpoint.
+				if c, ok := tr.(*trace.Collector); ok {
+					bounds = append(bounds, c.Snapshot())
+				} else {
+					bounds = append(bounds, tr.Checkpoint())
+				}
+			}
+		}
+
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		retained = float64(after.HeapAlloc) - float64(before.HeapAlloc)
+		runtime.KeepAlive(tr)
+		runtime.KeepAlive(bounds)
+	}
+	b.ReportMetric(retained/(1<<20), "retained-MB")
+}
+
+func BenchmarkTrace10kFullBoundaries(b *testing.B) { benchTrace10k(b, true) }
+func BenchmarkTrace10kStreaming(b *testing.B)      { benchTrace10k(b, false) }
+
+// benchRun1k runs a complete 1k-node eager-flat experiment per iteration
+// and reports the heap retained by the runner afterwards — the end-to-end
+// counterpart of the synthetic trace benchmark (topology matrix rows and
+// protocol state included).
+func benchRun1k(b *testing.B, full bool) {
+	var retained float64
+	for i := 0; i < b.N; i++ {
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+
+		cfg := sim.DefaultConfig()
+		cfg.Nodes = 1000
+		cfg.Messages = 120
+		cfg.Seed = int64(i + 1)
+		cfg.Strategy, cfg.FlatP = sim.StrategyFlat, 1.0
+		cfg.FullTrace = full
+		tp := topology.DefaultParams().Scaled(2)
+		cfg.Topology = &tp
+		r := sim.New(cfg)
+		res := r.Run()
+		if res.DeliveryRate < 0.99 {
+			b.Fatalf("delivery rate %.3f", res.DeliveryRate)
+		}
+
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		retained = float64(after.HeapAlloc) - float64(before.HeapAlloc)
+		runtime.KeepAlive(r)
+	}
+	b.ReportMetric(retained/(1<<20), "retained-MB")
+}
+
+func BenchmarkRun1kFlatFullTrace(b *testing.B) { benchRun1k(b, true) }
+func BenchmarkRun1kFlatStreaming(b *testing.B) { benchRun1k(b, false) }
 
 // --- Sweep engine: the full comparison-matrix pipeline ---
 

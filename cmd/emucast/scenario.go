@@ -25,6 +25,7 @@ func runScenario(args []string, out, errOut io.Writer) error {
 		nodes = fs.Int("nodes", 0, "override the initial overlay size")
 		seed  = fs.Int64("seed", 0, "override the scenario seed")
 		scale = fs.Int("scale", 0, "override the topology scale-down factor")
+		full  = fs.Bool("full-trace", false, "retain raw delivery events instead of streaming aggregates\n(identical report, O(messages × nodes) memory; for debugging)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(errOut, "usage: emucast scenario [flags] {-f <file.json> | <builtin>}\n")
@@ -72,6 +73,9 @@ func runScenario(args []string, out, errOut io.Writer) error {
 	}
 	if *scale > 0 {
 		spec.TopologyScale = *scale
+	}
+	if *full {
+		spec.FullTrace = true
 	}
 
 	if *dump {

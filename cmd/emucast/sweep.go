@@ -28,6 +28,7 @@ func runSweep(args []string, out, errOut io.Writer) error {
 		nodesCSV   = fs.String("nodes", "", "comma-separated overlay-size axis (default: each scenario's own)")
 		scale      = fs.Int("scale", 0, "topology scale-down factor override")
 		workers    = fs.Int("workers", 0, "concurrent cell runs (default GOMAXPROCS)")
+		full       = fs.Bool("full-trace", false, "retain raw delivery events per cell instead of streaming\naggregates (identical matrix, far more memory; for debugging)")
 		format     = fs.String("format", "table", "output format: table, markdown, csv or json")
 		jsonPath   = fs.String("json", "", "also write the matrix JSON to this file")
 		outPath    = fs.String("o", "", "write output to this file instead of stdout")
@@ -111,6 +112,9 @@ func runSweep(args []string, out, errOut io.Writer) error {
 	}
 	if *workers > 0 {
 		spec.Workers = *workers
+	}
+	if *full {
+		spec.FullTrace = true
 	}
 	switch *format {
 	case "table", "markdown", "md", "csv", "json":

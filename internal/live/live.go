@@ -3,10 +3,12 @@
 // generators, churn schedules, partitions) are executed against a fleet
 // of in-process emcast.Peer nodes on loopback sockets, with virtual phase
 // times mapped to wall-clock pacing. Deliveries flow through the same
-// trace collector the simulator uses, so the harness emits the exact same
-// per-phase scenario.Report — and Compare diffs a live report against a
-// simulator prediction metric by metric, the step that validates the
-// model against real sockets.
+// streaming trace pipeline the simulator uses (one trace.Streaming shared
+// by the whole fleet, folded into per-message aggregates as transport
+// goroutines deliver), so the harness emits the exact same per-phase
+// scenario.Report — and Compare diffs a live report against a simulator
+// prediction metric by metric, the step that validates the model against
+// real sockets.
 //
 // Live playback supports the spec features that have a real-network
 // meaning: every traffic generator and sender picker, join/flash-crowd/
@@ -111,7 +113,7 @@ type Harness struct {
 	spec scenario.Spec
 	opts Options
 
-	tracer *trace.Collector
+	tracer *trace.Streaming
 	epoch  time.Time
 	rng    *rand.Rand
 
@@ -149,7 +151,7 @@ func New(spec scenario.Spec, opts Options) (*Harness, error) {
 	return &Harness{
 		spec:       spec,
 		opts:       opts,
-		tracer:     trace.NewCollector(),
+		tracer:     trace.NewStreaming(),
 		rng:        rand.New(rand.NewSource(spec.Seed ^ 0x11ce5ce9a5105ce9)),
 		peers:      make(map[int]*emcast.Peer),
 		addrs:      make(map[emcast.NodeID]string),
@@ -234,13 +236,13 @@ func (h *Harness) peerConfig(self int) emcast.PeerConfig {
 // as the simulator engine's boundaries).
 type boundary struct {
 	at         time.Duration
-	snap       trace.Snapshot
+	cp         trace.Checkpoint
 	framesSent uint64
 	framesLost uint64
 	live       int
 }
 
-func (h *Harness) boundary() boundary {
+func (h *Harness) boundary(cp trace.Checkpoint) boundary {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	sent, lost := h.retiredSent, h.retiredLost
@@ -251,7 +253,7 @@ func (h *Harness) boundary() boundary {
 	}
 	return boundary{
 		at:         time.Since(h.epoch),
-		snap:       h.tracer.Snapshot(),
+		cp:         cp,
 		framesSent: sent,
 		framesLost: lost,
 		live:       len(h.liveAllLocked()),
@@ -324,21 +326,36 @@ func (h *Harness) Run() (*scenario.Report, error) {
 	time.Sleep(h.opts.Warmup)
 
 	bounds := make([]boundary, 0, len(h.spec.Phases)+1)
-	bounds = append(bounds, h.boundary())
+	bounds = append(bounds, h.boundary(h.tracer.Checkpoint()))
 	starts := make([]time.Duration, len(h.spec.Phases))
+	var msgs []trace.MsgStats
 	for i := range h.spec.Phases {
 		p := &h.spec.Phases[i]
 		h.logf("live: phase %q (%v over %v wall)", p.Name, p.Duration.D(), h.wall(p.Duration.D()))
 		starts[i] = time.Since(h.epoch)
+		if off, disrupted := scenario.Disruption(p); disrupted {
+			// The phase's recovery time will be queried over
+			// [event, phase end) on the wall-clock timeline: retain the
+			// completion records of that window's messages before any of
+			// them is multicast.
+			h.tracer.RetainCompletions(starts[i]+h.wall(off.D()), starts[i]+h.wall(p.Duration.D()))
+		}
 		h.playPhase(i, p)
 		if i == len(h.spec.Phases)-1 {
 			// The drain belongs to the last phase's interval, the
 			// simulator's convention.
 			time.Sleep(h.opts.Drain)
+			// The final boundary freezes the message aggregates together
+			// with the counters, so stragglers delivered while the report
+			// is assembled cannot skew one but not the other.
+			var cp trace.Checkpoint
+			cp, msgs = h.tracer.CheckpointAndMessages()
+			bounds = append(bounds, h.boundary(cp))
+		} else {
+			bounds = append(bounds, h.boundary(h.tracer.Checkpoint()))
 		}
-		bounds = append(bounds, h.boundary())
 	}
-	return h.report(starts, bounds), nil
+	return h.report(starts, bounds, msgs), nil
 }
 
 // playPhase schedules every traffic arrival, churn sub-event and network
@@ -593,10 +610,10 @@ func (h *Harness) shutdown() {
 	h.closing.Wait()
 }
 
-// report assembles the scenario.Report from the final trace snapshot and
+// report assembles the scenario.Report from the final trace aggregates and
 // the phase boundaries, through the same shared metric pipeline the
 // simulator engine uses (sim.WindowResult, scenario.MetricsFromResult).
-func (h *Harness) report(starts []time.Duration, bounds []boundary) *scenario.Report {
+func (h *Harness) report(starts []time.Duration, bounds []boundary, msgs []trace.MsgStats) *scenario.Report {
 	h.mu.Lock()
 	liveSet := make(map[peer.ID]bool, h.spec.Nodes)
 	for i := 0; i < h.spec.Nodes; i++ {
@@ -625,12 +642,11 @@ func (h *Harness) report(starts []time.Duration, bounds []boundary) *scenario.Re
 	}
 
 	last := bounds[len(bounds)-1]
-	snap := last.snap
-	overall := sim.WindowResult(snap, liveSet, 0, math.MaxInt64)
-	overall.JoinerCoverage = sim.SnapshotJoinerCoverage(snap, joined,
+	overall := sim.WindowResult(msgs, liveSet, 0, math.MaxInt64)
+	overall.JoinerCoverage = sim.MessageJoinerCoverage(msgs, joined,
 		func(id peer.ID) bool { return failed[id] }, h.wall(2*time.Second))
 	rep.Overall = scenario.MetricsFromResult(overall, 0, last.live)
-	rep.Overall.AddCounters(bounds[0].snap, last.snap,
+	rep.Overall.AddCounters(bounds[0].cp, last.cp,
 		last.framesSent-bounds[0].framesSent, last.framesLost-bounds[0].framesLost)
 	for _, k := range skipped {
 		rep.Overall.SkippedSends += k
@@ -640,11 +656,11 @@ func (h *Harness) report(starts []time.Duration, bounds []boundary) *scenario.Re
 		p := &h.spec.Phases[i]
 		prev, cur := bounds[i], bounds[i+1]
 		end := starts[i] + h.wall(p.Duration.D())
-		res := sim.WindowResult(snap, liveSet, starts[i], end)
+		res := sim.WindowResult(msgs, liveSet, starts[i], end)
 		m := scenario.MetricsFromResult(res, skipped[i], cur.live)
 		if off, disrupted := scenario.Disruption(p); disrupted {
 			event := starts[i] + h.wall(off.D())
-			switch rec, recovered, measured := sim.SnapshotRecovery(snap, liveSet, event, end); {
+			switch rec, recovered, measured := sim.MessageRecovery(msgs, liveSet, event, end); {
 			case !measured:
 				// No traffic after the event: nothing to judge by.
 			case recovered:
@@ -659,7 +675,7 @@ func (h *Harness) report(starts []time.Duration, bounds []boundary) *scenario.Re
 		case rep.Overall.RecoveryMS >= 0 && m.RecoveryMS > rep.Overall.RecoveryMS:
 			rep.Overall.RecoveryMS = m.RecoveryMS
 		}
-		m.AddCounters(prev.snap, cur.snap,
+		m.AddCounters(prev.cp, cur.cp,
 			cur.framesSent-prev.framesSent, cur.framesLost-prev.framesLost)
 		rep.Phases = append(rep.Phases, scenario.PhaseReport{
 			Name:    p.Name,

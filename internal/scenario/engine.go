@@ -72,6 +72,7 @@ func simConfig(spec *Spec) (sim.Config, error) {
 	cfg.UseGossipRanking = spec.GossipRanking
 	cfg.LateJoiners = spec.Joiners()
 	cfg.Drain = spec.Drain.D()
+	cfg.FullTrace = spec.FullTrace
 	switch spec.Strategy {
 	case "eager":
 		cfg.Strategy, cfg.FlatP = sim.StrategyFlat, 1.0
@@ -105,10 +106,12 @@ func simConfig(spec *Spec) (sim.Config, error) {
 func (e *Engine) Runner() *sim.Runner { return e.runner }
 
 // boundary captures the cumulative state at a phase edge, so per-phase
-// interval counters fall out as diffs of adjacent boundaries.
+// interval counters fall out as diffs of adjacent boundaries. It holds a
+// light trace.Checkpoint (counters plus link loads), never a copy of the
+// delivery log — phase edges stay O(connections) at any population.
 type boundary struct {
 	at         time.Duration
-	snap       trace.Snapshot
+	cp         trace.Checkpoint
 	framesSent uint64
 	framesLost uint64
 	live       int
@@ -118,7 +121,7 @@ func (e *Engine) boundary() boundary {
 	net := e.runner.Network()
 	return boundary{
 		at:         net.Now(),
-		snap:       e.runner.Snapshot(),
+		cp:         e.runner.Checkpoint(),
 		framesSent: net.FramesSent,
 		framesLost: net.FramesLost,
 		live:       len(e.runner.LiveAll()),
@@ -141,6 +144,13 @@ func (e *Engine) Run() (*Report, error) {
 		e.cur = i
 		p := &e.spec.Phases[i]
 		starts[i] = e.runner.Network().Now()
+		if off, disrupted := Disruption(p); disrupted {
+			// The phase's recovery time will be queried over
+			// [event, phase end): tell the streaming trace to retain the
+			// completion records of that window's messages before any of
+			// them is multicast.
+			e.runner.MarkRecovery(starts[i]+off.D(), starts[i]+p.Duration.D())
+		}
 		e.schedulePhase(p)
 		e.runner.RunFor(p.Duration.D())
 		if i == len(e.spec.Phases)-1 {

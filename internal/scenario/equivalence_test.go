@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestStreamingEquivalence pins the tentpole guarantee of the streaming
+// trace: for the same spec and seed, the default streaming collection
+// (per-message aggregates, completions retained only in marked disruption
+// spans) and the full raw-event collection produce byte-identical
+// reports. The scenarios cover every metric path that could diverge:
+// latency percentiles, per-phase windows, recovery times after churn and
+// partitions, joiner coverage, and delivery rates judged against an
+// end-of-run live set that shrank after earlier phases' messages were
+// sent.
+func TestStreamingEquivalence(t *testing.T) {
+	for _, name := range []string{
+		"steady-poisson", // baseline latency/percentile path
+		"crash-wave",     // recovery + live set shrinking after phase 1
+		"flash-crowd",    // joiner coverage
+		"partition-heal", // never-recovers and recovers phases
+	} {
+		t.Run(name, func(t *testing.T) {
+			run := func(full bool) []byte {
+				spec, err := Builtin(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				spec.Nodes = 25
+				spec.Seed = 7
+				spec.TopologyScale = 8
+				// Compress the timeline 3× to keep the suite fast; churn
+				// and network offsets shrink with their phases.
+				for i := range spec.Phases {
+					p := &spec.Phases[i]
+					p.Duration /= 3
+					for j := range p.Churn {
+						p.Churn[j].At /= 3
+						p.Churn[j].Over /= 3
+					}
+					for j := range p.Network {
+						p.Network[j].At /= 3
+					}
+				}
+				spec.FullTrace = full
+				eng, err := New(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := eng.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				enc, err := rep.JSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return enc
+			}
+			streaming, full := run(false), run(true)
+			if !bytes.Equal(streaming, full) {
+				t.Fatalf("streaming report diverged from full-trace report:\nstreaming:\n%s\nfull:\n%s",
+					streaming, full)
+			}
+		})
+	}
+}

@@ -144,10 +144,10 @@ func MetricsFromResult(res sim.Result, skipped, liveNodes int) Metrics {
 }
 
 // AddCounters fills the interval-scoped counters — everything that
-// crossed the wire between two trace snapshots — plus the frame counters
-// diffed by the caller (the emulator and the TCP transports count frames
-// differently, but both expose cumulative sent/lost totals).
-func (m *Metrics) AddCounters(prev, cur trace.Snapshot, framesSent, framesLost uint64) {
+// crossed the wire between two trace checkpoints — plus the frame
+// counters diffed by the caller (the emulator and the TCP transports
+// count frames differently, but both expose cumulative sent/lost totals).
+func (m *Metrics) AddCounters(prev, cur trace.Checkpoint, framesSent, framesLost uint64) {
 	m.EagerPayloads = cur.EagerPayloads - prev.EagerPayloads
 	m.LazyPayloads = cur.LazyPayloads - prev.LazyPayloads
 	m.PayloadBytes = cur.PayloadBytes - prev.PayloadBytes
@@ -243,7 +243,7 @@ func Disruption(p *Phase) (Duration, bool) {
 // fillCounters derives the interval-scoped counters between two
 // boundaries.
 func fillCounters(m *Metrics, prev, cur boundary) {
-	m.AddCounters(prev.snap, cur.snap, cur.framesSent-prev.framesSent, cur.framesLost-prev.framesLost)
+	m.AddCounters(prev.cp, cur.cp, cur.framesSent-prev.framesSent, cur.framesLost-prev.framesLost)
 }
 
 func ms(d time.Duration) float64 {

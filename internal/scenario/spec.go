@@ -91,6 +91,11 @@ type Spec struct {
 	// Drain keeps the simulation running after the last phase so
 	// in-flight lazy recoveries settle (default 10s).
 	Drain Duration `json:"drain,omitempty"`
+	// FullTrace retains every raw delivery event instead of the default
+	// streaming aggregates. Reports are byte-identical either way; the
+	// full trace exists for raw-event debugging and the equivalence
+	// tests, and its memory grows with messages × nodes.
+	FullTrace bool `json:"full_trace,omitempty"`
 
 	// Phases run back to back; each contributes a PhaseReport.
 	Phases []Phase `json:"phases"`

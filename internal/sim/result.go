@@ -70,16 +70,17 @@ type Result struct {
 	Elapsed time.Duration
 }
 
-// collect derives a Result from the trace collector.
+// collect derives a Result from the tracer's aggregates.
 func (r *Runner) collect() Result {
-	snap := r.tracer.Snapshot()
+	cp := r.tracer.Checkpoint()
+	msgs := r.tracer.MessageStats()
 	res := Result{
 		Config:        r.cfg,
-		EagerPayloads: snap.EagerPayloads,
-		LazyPayloads:  snap.LazyPayloads,
-		Duplicates:    snap.Duplicates,
-		ControlFrames: snap.ControlFrames,
-		RequestMisses: snap.RequestMisses,
+		EagerPayloads: cp.EagerPayloads,
+		LazyPayloads:  cp.LazyPayloads,
+		Duplicates:    cp.Duplicates,
+		ControlFrames: cp.ControlFrames,
+		RequestMisses: cp.RequestMisses,
 		FramesSent:    r.net.FramesSent,
 		FramesLost:    r.net.FramesLost,
 		Elapsed:       r.elapsed,
@@ -88,32 +89,19 @@ func (r *Runner) collect() Result {
 	// Late joiners are excluded from the delivery-rate denominator (they
 	// legitimately miss messages sent before they joined); their
 	// coverage is reported separately as JoinerCoverage.
-	live := 0
-	liveSet := make(map[peer.ID]bool, r.cfg.Nodes)
-	for i := 0; i < r.cfg.Nodes; i++ {
-		id := peer.ID(i)
-		if !r.failed[id] {
-			live++
-			liveSet[id] = true
-		}
-	}
+	liveSet := r.liveOriginalSet()
+	live := len(liveSet)
 
 	var lat stats.Welford
 	var latencies []float64
 	var deliveryFracs []float64
 	atomic := 0
-	for _, m := range snap.Messages {
+	for i := range msgs {
+		m := &msgs[i]
 		res.MessagesSent++
-		delivered := 0
-		for _, d := range m.Deliveries {
-			res.Deliveries++
-			if liveSet[d.Node] {
-				delivered++
-			}
-			if d.Node == m.Origin || m.SentAt < 0 {
-				continue
-			}
-			l := float64(d.At - m.SentAt)
+		res.Deliveries += m.Deliveries
+		delivered := m.DeliveredAmong(liveSet)
+		for _, l := range m.Latencies {
 			lat.Add(l)
 			latencies = append(latencies, l)
 		}
@@ -135,7 +123,7 @@ func (r *Runner) collect() Result {
 	}
 
 	if res.Deliveries > 0 {
-		res.PayloadPerMsg = float64(snap.TotalPayloads) / float64(res.Deliveries)
+		res.PayloadPerMsg = float64(cp.TotalPayloads) / float64(res.Deliveries)
 	}
 	// Group contributions: payloads sent by group members, normalised
 	// per message and per group member. The low/best decomposition is
@@ -147,6 +135,7 @@ func (r *Runner) collect() Result {
 	// compared against) or has already been computed.
 	if r.oracleDone || r.cfg.Strategy == StrategyRanked || r.cfg.Strategy == StrategyHybrid {
 		r.ensureOracle()
+		byNode := r.tracer.NodePayloads()
 		lowCount, bestCount := 0, 0
 		lowPayloads, bestPayloads := 0, 0
 		for i := range r.nodes {
@@ -156,10 +145,10 @@ func (r *Runner) collect() Result {
 			}
 			if r.best[id] {
 				bestCount++
-				bestPayloads += snap.PayloadByNode[id]
+				bestPayloads += byNode[id]
 			} else {
 				lowCount++
-				lowPayloads += snap.PayloadByNode[id]
+				lowPayloads += byNode[id]
 			}
 		}
 		if res.MessagesSent > 0 {
@@ -172,13 +161,13 @@ func (r *Runner) collect() Result {
 		}
 	}
 
-	loads := make([]float64, 0, len(snap.Links))
-	for _, l := range snap.Links {
+	loads := make([]float64, 0, len(cp.Links))
+	for _, l := range cp.Links {
 		loads = append(loads, float64(l.Payloads))
 	}
 	res.Top5Share = stats.TopShare(loads, 0.05)
 
-	res.JoinerCoverage = r.joinerCoverage(snap)
+	res.JoinerCoverage = r.joinerCoverage(msgs)
 	return res
 }
 
@@ -199,25 +188,25 @@ func (r *Runner) liveOriginalSet() map[peer.ID]bool {
 // CollectWindow derives metrics restricted to the messages multicast in
 // the virtual-time window [from, to). Latency, delivery and payload
 // figures are attributed to the exact window messages (payload counts via
-// the per-message trace, so retransmissions that settle after the window
-// still count towards the message that caused them). Counters that cannot
-// be attributed to individual messages — eager/lazy splits, control
+// the per-message aggregates, so retransmissions that settle after the
+// window still count towards the message that caused them). Counters that
+// cannot be attributed to individual messages — eager/lazy splits, control
 // frames, duplicates, link loads, frame counts, group contributions — are
-// left zero; diff Snapshot values taken at the window boundaries for
+// left zero; diff Checkpoint values taken at the window boundaries for
 // those.
 func (r *Runner) CollectWindow(from, to time.Duration) Result {
-	res := WindowResult(r.tracer.Snapshot(), r.liveOriginalSet(), from, to)
+	res := WindowResult(r.tracer.MessageStats(), r.liveOriginalSet(), from, to)
 	res.Config = r.cfg
 	res.Elapsed = r.elapsed
 	return res
 }
 
-// WindowResult derives message-scoped metrics from any trace snapshot,
-// restricted to the messages multicast in [from, to) and judged against
-// liveSet — the deployment-neutral core of CollectWindow, shared by the
-// simulator and the live TCP harness (both trace through the same
-// collector, so one metrics pipeline serves both).
-func WindowResult(snap trace.Snapshot, liveSet map[peer.ID]bool, from, to time.Duration) Result {
+// WindowResult derives message-scoped metrics from per-message trace
+// aggregates, restricted to the messages multicast in [from, to) and
+// judged against liveSet — the deployment-neutral core of CollectWindow,
+// shared by the simulator and the live TCP harness (both trace through
+// the same aggregate pipeline, so one metrics implementation serves both).
+func WindowResult(msgs []trace.MsgStats, liveSet map[peer.ID]bool, from, to time.Duration) Result {
 	var res Result
 	live := len(liveSet)
 
@@ -225,22 +214,16 @@ func WindowResult(snap trace.Snapshot, liveSet map[peer.ID]bool, from, to time.D
 	var latencies []float64
 	var deliveryFracs []float64
 	atomic, payloads := 0, 0
-	for _, m := range snap.Messages {
+	for i := range msgs {
+		m := &msgs[i]
 		if m.SentAt < from || m.SentAt >= to {
 			continue
 		}
 		res.MessagesSent++
-		payloads += snap.PayloadByMsg[m.ID]
-		delivered := 0
-		for _, d := range m.Deliveries {
-			res.Deliveries++
-			if liveSet[d.Node] {
-				delivered++
-			}
-			if d.Node == m.Origin {
-				continue
-			}
-			l := float64(d.At - m.SentAt)
+		payloads += m.Payloads
+		res.Deliveries += m.Deliveries
+		delivered := m.DeliveredAmong(liveSet)
+		for _, l := range m.Latencies {
 			lat.Add(l)
 			latencies = append(latencies, l)
 		}
@@ -282,15 +265,31 @@ func WindowResult(snap trace.Snapshot, liveSet map[peer.ID]bool, from, to time.D
 // judge recovery by at all; callers must not read that as a failed
 // recovery. Liveness is judged against the end-of-run live set, the
 // same convention CollectWindow uses.
+//
+// Under the default streaming trace, the window must have been marked
+// with MarkRecovery before its traffic ran (the scenario engine marks
+// every disrupted phase automatically); unmarked windows panic rather
+// than silently mis-measure.
 func (r *Runner) RecoveryTime(event, to time.Duration) (rec time.Duration, recovered, measured bool) {
-	return SnapshotRecovery(r.tracer.Snapshot(), r.liveOriginalSet(), event, to)
+	return MessageRecovery(r.tracer.MessageStats(), r.liveOriginalSet(), event, to)
 }
 
-// SnapshotRecovery is the deployment-neutral core of RecoveryTime: it
-// measures time-to-sustained-full-delivery after a disruption from any
-// trace snapshot, judged against liveSet. The live TCP harness shares it
-// with the simulator.
-func SnapshotRecovery(snap trace.Snapshot, liveSet map[peer.ID]bool, event, to time.Duration) (rec time.Duration, recovered, measured bool) {
+// MarkRecovery declares [from, to) a disruption window whose recovery
+// time will be queried: under the streaming trace, per-delivery
+// completion records of the window's messages are retained so the
+// measurement is exact. Call it before the window's traffic is
+// multicast. With a full trace this is a no-op (everything is retained).
+func (r *Runner) MarkRecovery(from, to time.Duration) {
+	if s, ok := r.tracer.(*trace.Streaming); ok {
+		s.RetainCompletions(from, to)
+	}
+}
+
+// MessageRecovery is the deployment-neutral core of RecoveryTime: it
+// measures time-to-sustained-full-delivery after a disruption from
+// per-message trace aggregates, judged against liveSet. The live TCP
+// harness shares it with the simulator.
+func MessageRecovery(msgs []trace.MsgStats, liveSet map[peer.ID]bool, event, to time.Duration) (rec time.Duration, recovered, measured bool) {
 	live := len(liveSet)
 	if live == 0 {
 		return 0, false, false
@@ -301,21 +300,16 @@ func SnapshotRecovery(snap trace.Snapshot, liveSet map[peer.ID]bool, event, to t
 		full            bool
 	}
 	var pts []point
-	for _, m := range snap.Messages {
+	for i := range msgs {
+		m := &msgs[i]
 		if m.SentAt < event || m.SentAt >= to {
 			continue
 		}
-		delivered := 0
-		var completed time.Duration
-		for _, d := range m.Deliveries {
-			if !liveSet[d.Node] {
-				continue
-			}
-			delivered++
-			if d.At > completed {
-				completed = d.At
-			}
+		completed, ok := m.CompletionAmong(liveSet)
+		if !ok {
+			panic(fmt.Sprintf("sim: recovery window [%v, %v) was not marked before its traffic ran — call Runner.MarkRecovery (or trace.Streaming.RetainCompletions) up front, or use a full trace", event, to))
 		}
+		delivered := m.DeliveredAmong(liveSet)
 		pts = append(pts, point{sent: m.SentAt, completed: completed, full: delivered == live})
 	}
 	if len(pts) == 0 {
@@ -338,10 +332,11 @@ func SnapshotRecovery(snap trace.Snapshot, liveSet map[peer.ID]bool, event, to t
 }
 
 // LinkTopShare computes the share of payload traffic carried by the top
-// frac of connections between two trace snapshots: cur's link loads minus
-// prev's. Pass a zero-value prev to measure from the start of the run.
-// This is the emergent-structure metric evaluated over one phase of a run.
-func LinkTopShare(prev, cur trace.Snapshot, frac float64) float64 {
+// frac of connections between two trace checkpoints: cur's link loads
+// minus prev's. Pass a zero-value prev to measure from the start of the
+// run. This is the emergent-structure metric evaluated over one phase of
+// a run.
+func LinkTopShare(prev, cur trace.Checkpoint, frac float64) float64 {
 	loads := make([]float64, 0, len(cur.Links))
 	for l, load := range cur.Links {
 		if d := load.Payloads - prev.Links[l].Payloads; d > 0 {
@@ -355,16 +350,16 @@ func LinkTopShare(prev, cur trace.Snapshot, frac float64) float64 {
 // late joiner delivered (1.0 when there are no joiners, so the metric is
 // neutral in churn-free runs). A short grace period after the join absorbs
 // the bootstrap round trip.
-func (r *Runner) joinerCoverage(snap trace.Snapshot) float64 {
-	return SnapshotJoinerCoverage(snap, r.joinedAt, func(id peer.ID) bool { return r.failed[id] }, 2*time.Second)
+func (r *Runner) joinerCoverage(msgs []trace.MsgStats) float64 {
+	return MessageJoinerCoverage(msgs, r.joinedAt, func(id peer.ID) bool { return r.failed[id] }, 2*time.Second)
 }
 
-// SnapshotJoinerCoverage is the deployment-neutral core of the joiner
+// MessageJoinerCoverage is the deployment-neutral core of the joiner
 // coverage metric: the mean fraction of post-join messages each surviving
-// joiner delivered, from any trace snapshot. grace absorbs the bootstrap
-// round trip after each join (the simulator uses 2 s of virtual time; the
-// live harness passes a wall-clock value).
-func SnapshotJoinerCoverage(snap trace.Snapshot, joinedAt map[peer.ID]time.Duration, failed func(peer.ID) bool, grace time.Duration) float64 {
+// joiner delivered, from per-message trace aggregates. grace absorbs the
+// bootstrap round trip after each join (the simulator uses 2 s of virtual
+// time; the live harness passes a wall-clock value).
+func MessageJoinerCoverage(msgs []trace.MsgStats, joinedAt map[peer.ID]time.Duration, failed func(peer.ID) bool, grace time.Duration) float64 {
 	if len(joinedAt) == 0 {
 		return 1
 	}
@@ -388,16 +383,14 @@ func SnapshotJoinerCoverage(snap trace.Snapshot, joinedAt map[peer.ID]time.Durat
 		survivors++
 		joined := joinedAt[id]
 		eligible, got := 0, 0
-		for _, m := range snap.Messages {
+		for i := range msgs {
+			m := &msgs[i]
 			if m.SentAt < joined+grace {
 				continue
 			}
 			eligible++
-			for _, d := range m.Deliveries {
-				if d.Node == id {
-					got++
-					break
-				}
+			if m.DeliveredBy(id) {
+				got++
 			}
 		}
 		if eligible > 0 {
@@ -429,9 +422,9 @@ func (res Result) String() string {
 // LinkLoads returns per-connection payload counts with endpoint
 // coordinates, for plotting the Fig. 4 emergent-structure graphs.
 func (r *Runner) LinkLoads() []LinkUsage {
-	snap := r.tracer.Snapshot()
-	out := make([]LinkUsage, 0, len(snap.Links))
-	for l, load := range snap.Links {
+	cp := r.tracer.Checkpoint()
+	out := make([]LinkUsage, 0, len(cp.Links))
+	for l, load := range cp.Links {
 		out = append(out, LinkUsage{
 			A: l.A, B: l.B,
 			AX: r.matrix.Coords[l.A][0], AY: r.matrix.Coords[l.A][1],

@@ -4,6 +4,15 @@
 // multicast round-robin with a uniform random interval of 500 ms average)
 // and extracts the paper's metrics (latency, payload transmissions per
 // message, delivery rates, emergent-structure link shares).
+//
+// Metrics are derived from per-message trace aggregates (trace.MsgStats),
+// not raw event logs: Result/CollectWindow/RecoveryTime work identically
+// over the default streaming trace and a Config.FullTrace run. The
+// deployment-neutral cores — WindowResult, MessageRecovery,
+// MessageJoinerCoverage — are shared with the live TCP harness, so the
+// simulator and real sockets report through one pipeline. Disruption
+// windows whose recovery time will be queried must be declared up front
+// with Runner.MarkRecovery (the scenario engine does this automatically).
 package sim
 
 import (
@@ -137,6 +146,13 @@ type Config struct {
 	// Eager? metric still uses the oracle unless UseEWMAMonitor is also
 	// set.
 	UseGossipRanking bool
+	// FullTrace retains every raw delivery event (trace.Collector)
+	// instead of the default streaming aggregates (trace.Streaming).
+	// Metric outputs are identical either way — the equivalence tests
+	// pin that — but the full trace keeps O(messages × nodes) Delivery
+	// records alive for the whole run and makes FullSnapshot available;
+	// use it for raw-event analysis and debugging, not for large runs.
+	FullTrace bool
 	// Drain is how long to keep the simulation running after the last
 	// multicast so in-flight lazy requests settle. Zero means 10 s.
 	Drain time.Duration
@@ -190,7 +206,7 @@ type Runner struct {
 	matrix   *topology.Matrix
 	net      *emunet.Network
 	nodes    []*core.Node
-	tracer   *trace.Collector
+	tracer   trace.Reader
 	failed   map[peer.ID]bool
 	joinedAt map[peer.ID]time.Duration
 	rng      *rand.Rand
@@ -227,12 +243,16 @@ func New(cfg Config) *Runner {
 		Seed: cfg.Seed ^ 0x5ca1ab1e,
 	})
 
+	var tracer trace.Reader = trace.NewStreaming()
+	if cfg.FullTrace {
+		tracer = trace.NewCollector()
+	}
 	r := &Runner{
 		cfg:      cfg,
 		topo:     topo,
 		matrix:   matrix,
 		net:      net,
-		tracer:   trace.NewCollector(),
+		tracer:   tracer,
 		failed:   make(map[peer.ID]bool),
 		joinedAt: make(map[peer.ID]time.Duration),
 		rng:      rand.New(rand.NewSource(cfg.Seed ^ 0x7aff1c)),
@@ -515,11 +535,31 @@ func (r *Runner) Result() Result {
 	return r.collect()
 }
 
-// Snapshot exposes the current trace state, so callers can diff cumulative
-// counters (link loads, eager/lazy splits, control traffic) across phases
-// of a run.
-func (r *Runner) Snapshot() trace.Snapshot {
-	return r.tracer.Snapshot()
+// Checkpoint copies the cumulative trace counters and link loads, so
+// callers can diff interval-scoped quantities (link loads, eager/lazy
+// splits, control traffic) across phases of a run. It is O(connections),
+// never O(deliveries) — safe to take at every phase boundary of a
+// 10k-node run.
+func (r *Runner) Checkpoint() trace.Checkpoint {
+	return r.tracer.Checkpoint()
+}
+
+// MessageStats exposes the per-message trace aggregates in multicast
+// order — the data every derived metric is computed from. Treat the
+// aggregates as a read-only view; they share state with the collector.
+func (r *Runner) MessageStats() []trace.MsgStats {
+	return r.tracer.MessageStats()
+}
+
+// FullSnapshot exposes the raw event trace of a Config.FullTrace run
+// (per-message Delivery records included). ok is false under the default
+// streaming trace, which never retains raw events.
+func (r *Runner) FullSnapshot() (trace.Snapshot, bool) {
+	c, ok := r.tracer.(*trace.Collector)
+	if !ok {
+		return trace.Snapshot{}, false
+	}
+	return c.Snapshot(), true
 }
 
 // Fail silences a node, emulating its crash.

@@ -41,13 +41,13 @@ func TestCollectWindowPartitionsRun(t *testing.T) {
 		t.Fatalf("window delivery rates %.3f / %.3f, want ~1", a.DeliveryRate, b.DeliveryRate)
 	}
 	// Per-message payload attribution must add up to the global counter.
-	snap := r.Snapshot()
+	cp := r.Checkpoint()
 	sum := 0
-	for _, k := range snap.PayloadByMsg {
-		sum += k
+	for _, m := range r.MessageStats() {
+		sum += m.Payloads
 	}
-	if sum != snap.TotalPayloads {
-		t.Fatalf("per-message payloads sum to %d, total is %d", sum, snap.TotalPayloads)
+	if sum != cp.TotalPayloads {
+		t.Fatalf("per-message payloads sum to %d, total is %d", sum, cp.TotalPayloads)
 	}
 }
 
@@ -69,11 +69,11 @@ func TestLinkTopShareDiff(t *testing.T) {
 	cfg.Strategy = StrategyRanked
 	r := New(cfg)
 	full := r.Run()
-	snap := r.Snapshot()
-	if got := LinkTopShare(trace.Snapshot{}, snap, 0.05); math.Abs(got-full.Top5Share) > 1e-12 {
+	cp := r.Checkpoint()
+	if got := LinkTopShare(trace.Checkpoint{}, cp, 0.05); math.Abs(got-full.Top5Share) > 1e-12 {
 		t.Fatalf("LinkTopShare from start = %v, run reports %v", got, full.Top5Share)
 	}
-	if got := LinkTopShare(snap, snap, 0.05); got != 0 {
+	if got := LinkTopShare(cp, cp, 0.05); got != 0 {
 		t.Fatalf("LinkTopShare of empty diff = %v, want 0", got)
 	}
 }
@@ -101,13 +101,88 @@ func TestLeaveSilencesNode(t *testing.T) {
 	if res.DeliveryRate < 0.999 {
 		t.Fatalf("delivery rate %.3f among remaining nodes, want ~1", res.DeliveryRate)
 	}
-	for _, m := range r.Snapshot().Messages {
-		for _, d := range m.Deliveries {
-			if d.Node == peer.ID(3) {
-				t.Fatal("departed node delivered a message")
-			}
+	for _, m := range r.MessageStats() {
+		if m.DeliveredBy(peer.ID(3)) {
+			t.Fatal("departed node delivered a message")
 		}
 	}
+}
+
+// TestStreamingWindowEquivalence drives the same manually-scripted run —
+// warm-up, a crash mid-traffic, a marked recovery window — under the
+// default streaming trace and under a full trace, and requires Result,
+// CollectWindow and RecoveryTime to agree exactly. This is the sim-level
+// pin behind the scenario-level byte-identical report equivalence.
+func TestStreamingWindowEquivalence(t *testing.T) {
+	type outcome struct {
+		full, windowA, windowB Result
+		rec                    time.Duration
+		recovered, measured    bool
+	}
+	drive := func(fullTrace bool) outcome {
+		cfg := testConfig(30, 1)
+		cfg.Strategy = StrategyFlat
+		cfg.FlatP = 1.0
+		cfg.FullTrace = fullTrace
+		r := New(cfg)
+		r.Warmup()
+		event := r.Network().Now()
+		r.MarkRecovery(event, event+time.Hour)
+		for i := 0; i < 6; i++ {
+			r.MulticastFrom(i, []byte("pre-crash"))
+			r.RunFor(500 * time.Millisecond)
+		}
+		mid := r.Network().Now()
+		r.Fail(3)
+		r.Fail(7)
+		for i := 0; i < 6; i++ {
+			r.MulticastFrom(10+i, []byte("post-crash"))
+			r.RunFor(500 * time.Millisecond)
+		}
+		r.RunFor(5 * time.Second)
+		var o outcome
+		o.full = r.Result()
+		o.windowA = r.CollectWindow(0, mid)
+		o.windowB = r.CollectWindow(mid, r.Network().Now()+time.Hour)
+		o.rec, o.recovered, o.measured = r.RecoveryTime(event, r.Network().Now())
+		return o
+	}
+	s, f := drive(false), drive(true)
+	cmp := func(name string, a, b Result) {
+		if a.MessagesSent != b.MessagesSent || a.Deliveries != b.Deliveries ||
+			a.MeanLatency != b.MeanLatency || a.P50Latency != b.P50Latency ||
+			a.P95Latency != b.P95Latency || a.DeliveryRate != b.DeliveryRate ||
+			a.AtomicRate != b.AtomicRate || a.PayloadPerMsg != b.PayloadPerMsg ||
+			a.Top5Share != b.Top5Share || a.JoinerCoverage != b.JoinerCoverage {
+			t.Fatalf("%s diverged:\nstreaming: %+v\nfull:      %+v", name, a, b)
+		}
+	}
+	cmp("Result", s.full, f.full)
+	cmp("CollectWindow pre-crash", s.windowA, f.windowA)
+	cmp("CollectWindow post-crash", s.windowB, f.windowB)
+	if s.rec != f.rec || s.recovered != f.recovered || s.measured != f.measured {
+		t.Fatalf("RecoveryTime diverged: streaming %v/%v/%v, full %v/%v/%v",
+			s.rec, s.recovered, s.measured, f.rec, f.recovered, f.measured)
+	}
+}
+
+// TestRecoveryUnmarkedPanics: asking for a recovery time over a window the
+// streaming trace never marked must fail loudly, not mis-measure.
+func TestRecoveryUnmarkedPanics(t *testing.T) {
+	cfg := testConfig(20, 1)
+	cfg.Strategy = StrategyFlat
+	cfg.FlatP = 1.0
+	r := New(cfg)
+	r.Warmup()
+	event := r.Network().Now()
+	r.MulticastFrom(0, []byte("unmarked"))
+	r.RunFor(5 * time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RecoveryTime over an unmarked streaming window did not panic")
+		}
+	}()
+	r.RecoveryTime(event, r.Network().Now())
 }
 
 // TestRankedNodesOrder: the ranking must cover all nodes, best-first, and

@@ -45,12 +45,33 @@ func (n *Network) ClientMatrix() *Matrix {
 	return m
 }
 
-// row returns the latency and hop rows for client i, running the Dijkstra
-// on first use.
-func (m *Matrix) row(i int) ([]time.Duration, []int) {
+// row returns the latency row for client i, running the Dijkstra on first
+// use. Hop counts are deliberately not stored here: the emulator's
+// per-frame delay lookups eventually touch every sender's row, and at 10k
+// clients the hop rows would double a multi-hundred-MB matrix for data
+// only the oracle statistics ever read. Hop rows are materialised
+// separately by hopRow, on demand.
+func (m *Matrix) row(i int) []time.Duration {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.lat[i] == nil {
+		distNs, _ := m.net.dijkstra(m.net.Clients[i])
+		latRow := make([]time.Duration, m.N)
+		for j, dst := range m.net.Clients {
+			latRow[j] = time.Duration(distNs[dst])
+		}
+		m.lat[i] = latRow
+	}
+	return m.lat[i]
+}
+
+// hopRow returns the hop-count row for client i, running the Dijkstra on
+// first use (and filling the latency row for free, since the search
+// yields both).
+func (m *Matrix) hopRow(i int) []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.hops[i] == nil {
 		distNs, hops := m.net.dijkstra(m.net.Clients[i])
 		latRow := make([]time.Duration, m.N)
 		hopRow := make([]int, m.N)
@@ -58,29 +79,30 @@ func (m *Matrix) row(i int) ([]time.Duration, []int) {
 			latRow[j] = time.Duration(distNs[dst])
 			hopRow[j] = hops[dst]
 		}
-		m.lat[i], m.hops[i] = latRow, hopRow
+		if m.lat[i] == nil {
+			m.lat[i] = latRow
+		}
+		m.hops[i] = hopRow
 	}
-	return m.lat[i], m.hops[i]
+	return m.hops[i]
 }
 
 // Latency returns the shortest-path latency from client i to client j.
 func (m *Matrix) Latency(i, j int) time.Duration {
-	lat, _ := m.row(i)
-	return lat[j]
+	return m.row(i)[j]
 }
 
 // Hops returns the hop count of the shortest path from client i to j.
 func (m *Matrix) Hops(i, j int) int {
-	_, hops := m.row(i)
-	return hops[j]
+	return m.hopRow(i)[j]
 }
 
-// Materialize forces every row, paying the full all-pairs cost upfront.
-// Benchmarks and whole-matrix consumers use it; ordinary runs rely on the
-// lazy per-row path.
+// Materialize forces every row (latencies and hop counts), paying the
+// full all-pairs cost upfront. Benchmarks and whole-matrix consumers use
+// it; ordinary runs rely on the lazy per-row path.
 func (m *Matrix) Materialize() {
 	for i := 0; i < m.N; i++ {
-		m.row(i)
+		m.hopRow(i)
 	}
 }
 
@@ -162,7 +184,10 @@ func (m *Matrix) Stats(networkNodes int) Stats {
 	var sumLat time.Duration
 	var in56, in3960 int
 	for i := 0; i < m.N; i++ {
-		lat, hops := m.row(i)
+		// hopRow first: it fills the latency row from the same Dijkstra,
+		// so the row() call below is a cache hit.
+		hops := m.hopRow(i)
+		lat := m.row(i)
 		for j := 0; j < m.N; j++ {
 			if i == j {
 				continue

@@ -212,13 +212,13 @@ func Generate(p Params) *Network {
 	}
 
 	// Clients: attach each to a distinct stub router with the fixed
-	// access latency.
-	if p.Clients > len(stubs) {
-		panic(fmt.Sprintf("topology: %d clients exceed %d stub routers", p.Clients, len(stubs)))
-	}
+	// access latency. Populations beyond the stub count (10k-node sweep
+	// cells against the default ~3000-router model) wrap around the same
+	// random stub order, sharing access routers evenly — identical to the
+	// distinct assignment whenever Clients <= stubs.
 	perm := rng.Perm(len(stubs))
 	for c := 0; c < p.Clients; c++ {
-		attach := stubs[perm[c]]
+		attach := stubs[perm[c%len(stubs)]]
 		id := n.addNode(Node{
 			Kind:   Client,
 			X:      n.Nodes[attach].X + rng.NormFloat64()*2,

@@ -1,0 +1,423 @@
+package trace
+
+import (
+	"math/bits"
+	"sync"
+	"time"
+
+	"emcast/internal/ids"
+	"emcast/internal/peer"
+)
+
+// Counters are the cumulative scalar event counts every collector keeps.
+// They are cheap to copy, so phase-boundary accounting diffs Counters
+// (via Checkpoint) instead of deep-copying whole snapshots.
+type Counters struct {
+	TotalPayloads  int
+	EagerPayloads  int
+	LazyPayloads   int
+	PayloadBytes   int
+	ControlFrames  int
+	ControlBytes   int
+	Duplicates     int
+	RequestMisses  int
+	TotalDelivered int
+}
+
+// Checkpoint is a light cumulative snapshot taken at an interval boundary:
+// the scalar counters plus a copy of the per-link payload loads. Its cost
+// is O(connections), never O(deliveries) — the property that lets a
+// multi-phase 10k-node run take per-phase boundaries without duplicating
+// the whole delivery trace at every edge.
+type Checkpoint struct {
+	Counters
+	Links map[Link]LinkLoad
+}
+
+// bitset is a dense per-node bit vector, grown on demand.
+type bitset struct {
+	words []uint64
+}
+
+func (b *bitset) set(i uint32) {
+	w := int(i >> 6)
+	for len(b.words) <= w {
+		b.words = append(b.words, 0)
+	}
+	b.words[w] |= 1 << (i & 63)
+}
+
+func (b *bitset) get(i uint32) bool {
+	w := int(i >> 6)
+	if w >= len(b.words) {
+		return false
+	}
+	return b.words[w]&(1<<(i&63)) != 0
+}
+
+// MsgStats is the per-message running aggregate the metric pipeline
+// consumes: who delivered (as a bitset), the non-origin delivery latencies
+// in delivery order, and the payload transmissions attributed to the
+// message. Both collectors expose the run as []MsgStats, so every derived
+// metric (window results, recovery times, joiner coverage) is computed
+// from aggregates — identically whether the events were folded as they
+// happened (Streaming) or retained raw (Collector).
+type MsgStats struct {
+	ID     ids.ID
+	Origin peer.ID
+	SentAt time.Duration
+
+	// Deliveries counts delivery events, the origin's local delivery
+	// included.
+	Deliveries int
+	// Latencies are the end-to-end latencies of non-origin deliveries, in
+	// delivery order, as float64 nanoseconds — exactly the samples the
+	// full trace yields, so means, intervals and percentiles match to the
+	// last bit. Empty for messages whose multicast was never traced.
+	Latencies []float64
+	// Payloads counts payload transmissions attributed to this message.
+	Payloads int
+
+	delivered   bitset
+	completions []Delivery // per-delivery (node, at); nil unless retained
+}
+
+// DeliveredBy reports whether the node delivered the message.
+func (m *MsgStats) DeliveredBy(p peer.ID) bool {
+	if p == peer.None {
+		return false
+	}
+	return m.delivered.get(uint32(p))
+}
+
+// DeliveredAmong counts the distinct nodes of the live set that delivered
+// the message.
+func (m *MsgStats) DeliveredAmong(live map[peer.ID]bool) int {
+	n := 0
+	for w, word := range m.delivered.words {
+		for word != 0 {
+			id := peer.ID(w<<6 + bits.TrailingZeros64(word))
+			word &= word - 1
+			if live[id] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// HasCompletions reports whether per-delivery completion times were
+// retained for this message (always true for the full Collector; true for
+// Streaming only inside spans marked with RetainCompletions).
+func (m *MsgStats) HasCompletions() bool { return m.completions != nil }
+
+// CompletionAmong returns the instant of the last delivery to a node of
+// the live set — the message's completion time for recovery accounting —
+// or 0 when no live node delivered it. ok is false when completion times
+// were not retained for this message (and at least one delivery happened),
+// meaning the recovery span was never marked.
+func (m *MsgStats) CompletionAmong(live map[peer.ID]bool) (completed time.Duration, ok bool) {
+	if m.completions == nil {
+		return 0, m.Deliveries == 0
+	}
+	for _, d := range m.completions {
+		if live[d.Node] && d.At > completed {
+			completed = d.At
+		}
+	}
+	return completed, true
+}
+
+// Reader is the query side shared by both collectors: the full Collector
+// (raw events retained, Snapshot available) and the Streaming collector
+// (aggregates only). The metric pipeline — sim.WindowResult,
+// sim.MessageRecovery, the scenario and live report builders — depends
+// only on this interface.
+type Reader interface {
+	Tracer
+	// Checkpoint copies the cumulative counters and link loads; O(links).
+	Checkpoint() Checkpoint
+	// MessageStats returns the per-message aggregates in multicast order.
+	// The aggregates' internal state is shared with the collector: treat
+	// them as read-only, and only rely on them while no events are being
+	// traced concurrently (the simulator collects with virtual time
+	// paused; the live harness after the fleet shut down).
+	MessageStats() []MsgStats
+	// NodePayloads copies the per-node payload transmission counts.
+	NodePayloads() map[peer.ID]int
+}
+
+// span is a half-open virtual-time interval [from, to).
+type span struct {
+	from, to time.Duration
+}
+
+// counterCore is the bookkeeping shared verbatim by both collectors:
+// per-link loads, per-node payload counts and the scalar Counters. Every
+// mutation lives here exactly once, so a new counter or event kind cannot
+// be bumped in one collector and silently missed in the other — the
+// byte-identical streaming/full equivalence depends on that. All methods
+// assume the owning collector's mutex is held.
+type counterCore struct {
+	links         map[Link]*LinkLoad
+	payloadByNode map[peer.ID]int
+	counters      Counters
+}
+
+func newCounterCore() counterCore {
+	return counterCore{
+		links:         make(map[Link]*LinkLoad),
+		payloadByNode: make(map[peer.ID]int),
+	}
+}
+
+func (c *counterCore) deliveredEvent() {
+	c.counters.TotalDelivered++
+}
+
+func (c *counterCore) payloadEvent(from, to peer.ID, bytes int, eager bool) {
+	l := MakeLink(from, to)
+	load, ok := c.links[l]
+	if !ok {
+		load = &LinkLoad{}
+		c.links[l] = load
+	}
+	load.Payloads++
+	load.Bytes += bytes
+	c.payloadByNode[from]++
+	c.counters.TotalPayloads++
+	c.counters.PayloadBytes += bytes
+	if eager {
+		c.counters.EagerPayloads++
+	} else {
+		c.counters.LazyPayloads++
+	}
+}
+
+func (c *counterCore) controlEvent(bytes int) {
+	c.counters.ControlFrames++
+	c.counters.ControlBytes += bytes
+}
+
+func (c *counterCore) duplicateEvent() {
+	c.counters.Duplicates++
+}
+
+func (c *counterCore) requestMissEvent() {
+	c.counters.RequestMisses++
+}
+
+func (c *counterCore) checkpointLocked() Checkpoint {
+	cp := Checkpoint{
+		Counters: c.counters,
+		Links:    make(map[Link]LinkLoad, len(c.links)),
+	}
+	for l, load := range c.links {
+		cp.Links[l] = *load
+	}
+	return cp
+}
+
+func (c *counterCore) nodePayloadsLocked() map[peer.ID]int {
+	out := make(map[peer.ID]int, len(c.payloadByNode))
+	for n, k := range c.payloadByNode {
+		out[n] = k
+	}
+	return out
+}
+
+// Streaming is a Tracer that folds every event into running aggregates
+// instead of retaining it: deliveries become one bit, one latency sample
+// and one counter increment, and payload transmissions become per-link /
+// per-node / per-message counters. Nothing in it grows with the raw event
+// log except the latency samples (8 bytes per delivery, against the full
+// Collector's 16-byte Delivery records plus per-boundary deep copies) —
+// the difference between a 10k-node sweep cell finishing and stalling on
+// memory.
+//
+// Per-delivery (node, time) records are kept only for messages multicast
+// inside spans marked with RetainCompletions — the disrupted phases whose
+// recovery time needs the completion instant of each message judged
+// against the end-of-run live set. Everything else retires to aggregates
+// the moment the event is traced.
+type Streaming struct {
+	mu sync.Mutex
+
+	messages map[ids.ID]*MsgStats
+	order    []ids.ID
+	// pendingPayloads holds payload counts for messages not yet seen
+	// (a forwarded payload can be traced before the origin's multicast on
+	// a real network); they are absorbed when the message appears.
+	pendingPayloads map[ids.ID]int
+	retain          []span
+
+	core counterCore
+}
+
+// NewStreaming returns an empty streaming collector.
+func NewStreaming() *Streaming {
+	return &Streaming{
+		messages:        make(map[ids.ID]*MsgStats),
+		pendingPayloads: make(map[ids.ID]int),
+		core:            newCounterCore(),
+	}
+}
+
+// RetainCompletions marks the virtual-time span [from, to): messages
+// multicast inside it keep their per-delivery completion records, so
+// recovery times over that window are exact under the end-of-run live
+// set. Call it before the span's traffic starts — the mark applies to
+// messages first seen after the call. The scenario engine and the live
+// harness mark every disrupted phase automatically.
+func (s *Streaming) RetainCompletions(from, to time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retain = append(s.retain, span{from: from, to: to})
+}
+
+func (s *Streaming) retained(at time.Duration) bool {
+	for _, sp := range s.retain {
+		if at >= sp.from && at < sp.to {
+			return true
+		}
+	}
+	return false
+}
+
+// message returns the state for id, creating it as an orphan (unknown
+// origin, SentAt -1) when the multicast was never traced — the full
+// Collector's convention for partial traces.
+func (s *Streaming) message(id ids.ID) *MsgStats {
+	m, ok := s.messages[id]
+	if !ok {
+		m = &MsgStats{ID: id, Origin: peer.None, SentAt: -1}
+		m.Payloads += s.pendingPayloads[id]
+		delete(s.pendingPayloads, id)
+		s.messages[id] = m
+		s.order = append(s.order, id)
+	}
+	return m
+}
+
+// Multicast implements Tracer.
+func (s *Streaming) Multicast(origin peer.ID, id ids.ID, at time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.messages[id]; ok {
+		return
+	}
+	m := &MsgStats{ID: id, Origin: origin, SentAt: at}
+	m.Payloads += s.pendingPayloads[id]
+	delete(s.pendingPayloads, id)
+	if s.retained(at) {
+		m.completions = []Delivery{}
+	}
+	s.messages[id] = m
+	s.order = append(s.order, id)
+}
+
+// Delivered implements Tracer.
+func (s *Streaming) Delivered(node peer.ID, id ids.ID, at time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.message(id)
+	m.Deliveries++
+	s.core.deliveredEvent()
+	if node != peer.None {
+		m.delivered.set(uint32(node))
+	}
+	if m.SentAt >= 0 && node != m.Origin {
+		m.Latencies = append(m.Latencies, float64(at-m.SentAt))
+	}
+	if m.completions != nil {
+		m.completions = append(m.completions, Delivery{Node: node, At: at})
+	}
+}
+
+// PayloadSent implements Tracer.
+func (s *Streaming) PayloadSent(from, to peer.ID, id ids.ID, bytes int, eager bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.core.payloadEvent(from, to, bytes, eager)
+	if m, ok := s.messages[id]; ok {
+		m.Payloads++
+	} else {
+		s.pendingPayloads[id]++
+	}
+}
+
+// ControlSent implements Tracer.
+func (s *Streaming) ControlSent(from, to peer.ID, kind string, bytes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.core.controlEvent(bytes)
+}
+
+// DuplicatePayload implements Tracer.
+func (s *Streaming) DuplicatePayload(node peer.ID, id ids.ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.core.duplicateEvent()
+}
+
+// RequestMiss implements Tracer.
+func (s *Streaming) RequestMiss(node peer.ID, id ids.ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.core.requestMissEvent()
+}
+
+// Checkpoint implements Reader.
+func (s *Streaming) Checkpoint() Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpointLocked()
+}
+
+func (s *Streaming) checkpointLocked() Checkpoint {
+	return s.core.checkpointLocked()
+}
+
+// CheckpointAndMessages atomically captures the checkpoint and a deep
+// copy of the message aggregates under one lock. The live harness takes
+// its final phase boundary this way: transport goroutines may still
+// deliver stragglers while the report is assembled, and a plain
+// MessageStats view would let those leak into message-scoped metrics
+// without the matching counter increments. The copy is O(deliveries) —
+// fine once at the end of a live run, which is why ordinary boundaries
+// use Checkpoint alone.
+func (s *Streaming) CheckpointAndMessages() (Checkpoint, []MsgStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]MsgStats, 0, len(s.order))
+	for _, id := range s.order {
+		m := *s.messages[id]
+		m.Latencies = append([]float64(nil), m.Latencies...)
+		m.delivered = bitset{words: append([]uint64(nil), m.delivered.words...)}
+		if m.completions != nil {
+			m.completions = append([]Delivery(nil), m.completions...)
+		}
+		out = append(out, m)
+	}
+	return s.checkpointLocked(), out
+}
+
+// MessageStats implements Reader.
+func (s *Streaming) MessageStats() []MsgStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]MsgStats, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, *s.messages[id])
+	}
+	return out
+}
+
+// NodePayloads implements Reader.
+func (s *Streaming) NodePayloads() map[peer.ID]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.core.nodePayloadsLocked()
+}
+
+var _ Reader = (*Streaming)(nil)

@@ -1,8 +1,28 @@
-// Package trace records protocol events (multicasts, deliveries, payload
-// and control transmissions) for later analysis, playing the role of the
-// paper's per-run logs (§5.3: "all messages multicast and delivered are
-// logged for later processing", and "payload transmissions on each link are
-// also recorded separately").
+// Package trace is the metric spine of every experiment: protocol events
+// (multicasts, deliveries, payload and control transmissions) flow through
+// one Tracer, playing the role of the paper's per-run logs (§5.3: "all
+// messages multicast and delivered are logged for later processing", and
+// "payload transmissions on each link are also recorded separately").
+//
+// Two collectors implement the shared Reader query interface the metric
+// pipeline (sim.WindowResult, sim.MessageRecovery, the scenario and live
+// report builders) is written against:
+//
+//   - Streaming (the default everywhere) folds each event into running
+//     aggregates — per-message delivered bitsets, latency samples and
+//     payload counters, per-link loads, global Counters — and retires raw
+//     events on arrival. Its memory does not grow with the raw event log,
+//     which is what lets 10k-node sweep cells finish; per-delivery records
+//     survive only inside RetainCompletions spans (disrupted phases whose
+//     recovery time needs exact completion instants).
+//
+//   - Collector retains every raw Delivery and exposes whole-log
+//     Snapshots, for raw-event debugging and as the reference the
+//     streaming fold is pinned against (reports must be byte-identical
+//     through either collector; the equivalence tests enforce it).
+//
+// Interval accounting diffs Checkpoints — counters plus link loads,
+// O(connections) — taken at phase boundaries, never log copies.
 package trace
 
 import (
@@ -97,27 +117,16 @@ type Collector struct {
 	messages map[ids.ID]*Message
 	order    []ids.ID
 
-	links          map[Link]*LinkLoad
-	payloadByNode  map[peer.ID]int
-	payloadByMsg   map[ids.ID]int
-	eagerPayloads  int
-	lazyPayloads   int
-	controlFrames  int
-	controlBytes   int
-	payloadBytes   int
-	duplicates     int
-	requestMisses  int
-	totalPayloads  int
-	totalDelivered int
+	payloadByMsg map[ids.ID]int
+	core         counterCore
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
 	return &Collector{
-		messages:      make(map[ids.ID]*Message),
-		links:         make(map[Link]*LinkLoad),
-		payloadByNode: make(map[peer.ID]int),
-		payloadByMsg:  make(map[ids.ID]int),
+		messages:     make(map[ids.ID]*Message),
+		payloadByMsg: make(map[ids.ID]int),
+		core:         newCounterCore(),
 	}
 }
 
@@ -144,52 +153,36 @@ func (c *Collector) Delivered(node peer.ID, id ids.ID, at time.Duration) {
 		c.order = append(c.order, id)
 	}
 	m.Deliveries = append(m.Deliveries, Delivery{Node: node, At: at})
-	c.totalDelivered++
+	c.core.deliveredEvent()
 }
 
 // PayloadSent implements Tracer.
 func (c *Collector) PayloadSent(from, to peer.ID, id ids.ID, bytes int, eager bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	l := MakeLink(from, to)
-	load, ok := c.links[l]
-	if !ok {
-		load = &LinkLoad{}
-		c.links[l] = load
-	}
-	load.Payloads++
-	load.Bytes += bytes
-	c.payloadByNode[from]++
+	c.core.payloadEvent(from, to, bytes, eager)
 	c.payloadByMsg[id]++
-	c.totalPayloads++
-	c.payloadBytes += bytes
-	if eager {
-		c.eagerPayloads++
-	} else {
-		c.lazyPayloads++
-	}
 }
 
 // ControlSent implements Tracer.
 func (c *Collector) ControlSent(from, to peer.ID, kind string, bytes int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.controlFrames++
-	c.controlBytes += bytes
+	c.core.controlEvent(bytes)
 }
 
 // DuplicatePayload implements Tracer.
 func (c *Collector) DuplicatePayload(node peer.ID, id ids.ID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.duplicates++
+	c.core.duplicateEvent()
 }
 
 // RequestMiss implements Tracer.
 func (c *Collector) RequestMiss(node peer.ID, id ids.ID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.requestMisses++
+	c.core.requestMissEvent()
 }
 
 var _ Tracer = (*Collector)(nil)
@@ -220,18 +213,18 @@ func (c *Collector) Snapshot() Snapshot {
 	defer c.mu.Unlock()
 	s := Snapshot{
 		Messages:       make([]Message, 0, len(c.order)),
-		Links:          make(map[Link]LinkLoad, len(c.links)),
-		PayloadByNode:  make(map[peer.ID]int, len(c.payloadByNode)),
+		Links:          make(map[Link]LinkLoad, len(c.core.links)),
+		PayloadByNode:  c.core.nodePayloadsLocked(),
 		PayloadByMsg:   make(map[ids.ID]int, len(c.payloadByMsg)),
-		TotalPayloads:  c.totalPayloads,
-		EagerPayloads:  c.eagerPayloads,
-		LazyPayloads:   c.lazyPayloads,
-		PayloadBytes:   c.payloadBytes,
-		ControlFrames:  c.controlFrames,
-		ControlBytes:   c.controlBytes,
-		Duplicates:     c.duplicates,
-		RequestMisses:  c.requestMisses,
-		TotalDelivered: c.totalDelivered,
+		TotalPayloads:  c.core.counters.TotalPayloads,
+		EagerPayloads:  c.core.counters.EagerPayloads,
+		LazyPayloads:   c.core.counters.LazyPayloads,
+		PayloadBytes:   c.core.counters.PayloadBytes,
+		ControlFrames:  c.core.counters.ControlFrames,
+		ControlBytes:   c.core.counters.ControlBytes,
+		Duplicates:     c.core.counters.Duplicates,
+		RequestMisses:  c.core.counters.RequestMisses,
+		TotalDelivered: c.core.counters.TotalDelivered,
 	}
 	for _, id := range c.order {
 		m := c.messages[id]
@@ -239,14 +232,63 @@ func (c *Collector) Snapshot() Snapshot {
 		cp.Deliveries = append([]Delivery(nil), m.Deliveries...)
 		s.Messages = append(s.Messages, cp)
 	}
-	for l, load := range c.links {
+	for l, load := range c.core.links {
 		s.Links[l] = *load
-	}
-	for n, k := range c.payloadByNode {
-		s.PayloadByNode[n] = k
 	}
 	for id, k := range c.payloadByMsg {
 		s.PayloadByMsg[id] = k
 	}
 	return s
 }
+
+// Checkpoint implements Reader.
+func (c *Collector) Checkpoint() Checkpoint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.core.checkpointLocked()
+}
+
+// MessageStats implements Reader by deriving the aggregates from the
+// retained raw events at query time — the reference the Streaming
+// collector's incremental folding is pinned against (the equivalence
+// tests byte-compare reports produced through both paths).
+func (c *Collector) MessageStats() []MsgStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]MsgStats, 0, len(c.order))
+	for _, id := range c.order {
+		m := c.messages[id]
+		ms := MsgStats{
+			ID:          m.ID,
+			Origin:      m.Origin,
+			SentAt:      m.SentAt,
+			Deliveries:  len(m.Deliveries),
+			Payloads:    c.payloadByMsg[id],
+			completions: m.Deliveries,
+		}
+		if ms.completions == nil {
+			// HasCompletions must hold for every full-trace message,
+			// delivered or not.
+			ms.completions = []Delivery{}
+		}
+		for _, d := range m.Deliveries {
+			if d.Node != peer.None {
+				ms.delivered.set(uint32(d.Node))
+			}
+			if m.SentAt >= 0 && d.Node != m.Origin {
+				ms.Latencies = append(ms.Latencies, float64(d.At-m.SentAt))
+			}
+		}
+		out = append(out, ms)
+	}
+	return out
+}
+
+// NodePayloads implements Reader.
+func (c *Collector) NodePayloads() map[peer.ID]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.core.nodePayloadsLocked()
+}
+
+var _ Reader = (*Collector)(nil)
