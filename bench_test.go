@@ -384,6 +384,57 @@ func BenchmarkClientMatrix(b *testing.B) {
 	}
 }
 
+// --- Compact latency plane: 10k-client matrix residency and lookups ---
+
+// benchMatrix10k drives a 10k-client latency plane the way a flat sweep
+// cell does — every sender's row gets touched — and reports the heap the
+// matrix retains afterwards plus the cost of a random-pair lookup. The
+// quantized attach-router representation keeps the full 10k plane in the
+// tens of MBs; a byte budget below that forces LRU eviction and on-demand
+// Dijkstra recomputation, trading lookup latency for residency (compare
+// the budget variants' lookup-ns against the resident run).
+func benchMatrix10k(b *testing.B, budget int64) {
+	p := topology.DefaultParams()
+	p.Clients = 10000
+	net := topology.Generate(p)
+
+	var retained, lookupNs float64
+	for i := 0; i < b.N; i++ {
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+
+		m := net.ClientMatrix()
+		if budget > 0 {
+			m.SetBudget(budget)
+		}
+		// Touch every source row once, as interleaved senders do.
+		for src := 0; src < m.N; src++ {
+			_ = m.Latency(src, (src+1)%m.N)
+		}
+		// Random-pair lookups over the warmed plane.
+		rng := rand.New(rand.NewSource(int64(i + 1)))
+		const lookups = 5000
+		start := time.Now()
+		for k := 0; k < lookups; k++ {
+			_ = m.Latency(rng.Intn(m.N), rng.Intn(m.N))
+		}
+		lookupNs = float64(time.Since(start).Nanoseconds()) / lookups
+
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		retained = float64(after.HeapAlloc) - float64(before.HeapAlloc)
+		runtime.KeepAlive(m)
+	}
+	b.ReportMetric(retained/(1<<20), "retained-MB")
+	b.ReportMetric(lookupNs, "lookup-ns")
+}
+
+func BenchmarkMatrix10kResident(b *testing.B)    { benchMatrix10k(b, 0) }
+func BenchmarkMatrix10kBudget64MiB(b *testing.B) { benchMatrix10k(b, 64<<20) }
+func BenchmarkMatrix10kBudget8MiB(b *testing.B)  { benchMatrix10k(b, 8<<20) }
+
 // --- Lazy oracle: sweep-cell setup cost ---
 
 // benchSetup measures sim.New alone — the per-cell setup a sweep pays

@@ -18,14 +18,15 @@ func runScenario(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("emucast scenario", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		file  = fs.String("f", "", "scenario JSON file (alternative to a builtin name)")
-		list  = fs.Bool("list", false, "list builtin scenarios and exit")
-		dump  = fs.Bool("dump", false, "print the scenario spec JSON instead of running it")
-		text  = fs.Bool("text", false, "print a human-readable summary instead of JSON")
-		nodes = fs.Int("nodes", 0, "override the initial overlay size")
-		seed  = fs.Int64("seed", 0, "override the scenario seed")
-		scale = fs.Int("scale", 0, "override the topology scale-down factor")
-		full  = fs.Bool("full-trace", false, "retain raw delivery events instead of streaming aggregates\n(identical report, O(messages × nodes) memory; for debugging)")
+		file    = fs.String("f", "", "scenario JSON file (alternative to a builtin name)")
+		list    = fs.Bool("list", false, "list builtin scenarios and exit")
+		dump    = fs.Bool("dump", false, "print the scenario spec JSON instead of running it")
+		text    = fs.Bool("text", false, "print a human-readable summary instead of JSON")
+		nodes   = fs.Int("nodes", 0, "override the initial overlay size")
+		seed    = fs.Int64("seed", 0, "override the scenario seed")
+		scale   = fs.Int("scale", 0, "override the topology scale-down factor")
+		full    = fs.Bool("full-trace", false, "retain raw delivery events instead of streaming aggregates\n(identical report, O(messages × nodes) memory; for debugging)")
+		mbudget = fs.String("matrix-budget", "", "cap resident latency-plane bytes (e.g. 64MiB); evicted\nDijkstra rows recompute on demand")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(errOut, "usage: emucast scenario [flags] {-f <file.json> | <builtin>}\n")
@@ -76,6 +77,13 @@ func runScenario(args []string, out, errOut io.Writer) error {
 	}
 	if *full {
 		spec.FullTrace = true
+	}
+	if *mbudget != "" {
+		b, err := scenario.ParseBytes(*mbudget)
+		if err != nil {
+			return err
+		}
+		spec.MatrixBudget = b
 	}
 
 	if *dump {

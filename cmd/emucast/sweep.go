@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"emcast/internal/scenario"
 	"emcast/internal/sweep"
 )
 
@@ -29,6 +30,7 @@ func runSweep(args []string, out, errOut io.Writer) error {
 		scale      = fs.Int("scale", 0, "topology scale-down factor override")
 		workers    = fs.Int("workers", 0, "concurrent cell runs (default GOMAXPROCS)")
 		full       = fs.Bool("full-trace", false, "retain raw delivery events per cell instead of streaming\naggregates (identical matrix, far more memory; for debugging)")
+		mbudget    = fs.String("matrix-budget", "", "cap each cell's resident latency-plane bytes (e.g. 64MiB);\nevicted Dijkstra rows recompute on demand")
 		format     = fs.String("format", "table", "output format: table, markdown, csv or json")
 		jsonPath   = fs.String("json", "", "also write the matrix JSON to this file")
 		outPath    = fs.String("o", "", "write output to this file instead of stdout")
@@ -115,6 +117,13 @@ func runSweep(args []string, out, errOut io.Writer) error {
 	}
 	if *full {
 		spec.FullTrace = true
+	}
+	if *mbudget != "" {
+		b, err := scenario.ParseBytes(*mbudget)
+		if err != nil {
+			return err
+		}
+		spec.MatrixBudget = b
 	}
 	switch *format {
 	case "table", "markdown", "md", "csv", "json":

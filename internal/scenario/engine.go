@@ -73,6 +73,7 @@ func simConfig(spec *Spec) (sim.Config, error) {
 	cfg.LateJoiners = spec.Joiners()
 	cfg.Drain = spec.Drain.D()
 	cfg.FullTrace = spec.FullTrace
+	cfg.MatrixBudget = int64(spec.MatrixBudget)
 	switch spec.Strategy {
 	case "eager":
 		cfg.Strategy, cfg.FlatP = sim.StrategyFlat, 1.0

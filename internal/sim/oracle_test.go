@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"emcast/internal/topology"
+)
+
+// TestStreamingOracleAccuracy runs a population just above the exactness
+// cutoff, so ensureOracle takes the row-streaming P² path, and checks ρ
+// and T0 against the exact quantiles brute-forced from the same matrix.
+func TestStreamingOracleAccuracy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = OracleExactCutoff + 52
+	cfg.Strategy = StrategyRadius
+	tp := topology.DefaultParams().Scaled(2)
+	cfg.Topology = &tp
+	r := New(cfg)
+
+	rho := r.Rho()
+
+	var lats []float64
+	row := make([]time.Duration, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		r.Matrix().LatencyRowInto(row, i)
+		for j := 0; j < cfg.Nodes; j++ {
+			if i != j {
+				lats = append(lats, float64(row[j]))
+			}
+		}
+	}
+	sort.Float64s(lats)
+	exact := lats[int(cfg.RadiusQuantile*float64(len(lats)-1))]
+	exactRhoMS := exact / float64(time.Millisecond)
+
+	if rho <= 0 {
+		t.Fatalf("streaming ρ = %v, want > 0", rho)
+	}
+	if rel := math.Abs(rho-exactRhoMS) / exactRhoMS; rel > 0.02 {
+		t.Errorf("streaming ρ = %.4f ms, exact %.4f ms (relative error %.3f > 0.02)", rho, exactRhoMS, rel)
+	}
+}
+
+// TestMatrixBudgetPlumbed checks Config.MatrixBudget reaches the topology
+// matrix and that a budgeted run still produces sane metrics.
+func TestMatrixBudgetPlumbed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 40
+	cfg.Messages = 10
+	cfg.MatrixBudget = 4 << 10
+	tp := topology.DefaultParams().Scaled(8)
+	cfg.Topology = &tp
+	r := New(cfg)
+	if got := r.Matrix().Budget(); got != cfg.MatrixBudget {
+		t.Fatalf("matrix budget = %d, want %d", got, cfg.MatrixBudget)
+	}
+	res := r.Run()
+	if res.DeliveryRate < 0.99 {
+		t.Fatalf("delivery rate %.3f under a matrix budget, want ~1", res.DeliveryRate)
+	}
+	if resident := r.Matrix().ResidentBytes(); resident > cfg.MatrixBudget {
+		t.Fatalf("resident %d bytes exceeds budget %d", resident, cfg.MatrixBudget)
+	}
+}

@@ -1,0 +1,128 @@
+package stats
+
+import "sort"
+
+// P2Quantile estimates a single quantile of a stream in O(1) memory with
+// the P² algorithm (Jain & Chlamtac, CACM 1985): five markers track the
+// minimum, the target quantile, the maximum and two intermediate
+// quantiles, and each observation nudges the markers toward their desired
+// positions with a piecewise-parabolic height update. The estimate is
+// exact for the first five observations and deterministic for a given
+// input sequence — the same stream always yields the same value, so
+// estimates are bit-reproducible across runs and worker counts.
+//
+// The simulator's oracle feeds it one latency-matrix row at a time for
+// populations above its exactness cutoff; callers needing exact quantiles
+// should sort and index instead (see Percentile).
+type P2Quantile struct {
+	q       float64
+	n       int64
+	heights [5]float64
+	pos     [5]float64 // actual marker positions (1-based counts)
+	want    [5]float64 // desired marker positions
+	inc     [5]float64 // desired-position increment per observation
+}
+
+// NewP2Quantile returns an estimator for the q-quantile, q in (0, 1)
+// (e.g. 0.1 for the 10th percentile).
+func NewP2Quantile(q float64) *P2Quantile {
+	p := &P2Quantile{q: q}
+	p.want = [5]float64{1, 1 + 2*q, 1 + 4*q, 3 + 2*q, 5}
+	p.inc = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return p
+}
+
+// Add incorporates one observation.
+func (p *P2Quantile) Add(x float64) {
+	if p.n < 5 {
+		p.heights[p.n] = x
+		p.n++
+		if p.n == 5 {
+			sort.Float64s(p.heights[:])
+			p.pos = [5]float64{1, 2, 3, 4, 5}
+		}
+		return
+	}
+	p.n++
+
+	// Locate the cell containing x, extending the extremes if needed.
+	var k int
+	switch {
+	case x < p.heights[0]:
+		p.heights[0] = x
+		k = 0
+	case x >= p.heights[4]:
+		p.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < p.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := range p.want {
+		p.want[i] += p.inc[i]
+	}
+
+	// Nudge the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := p.want[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			h := p.parabolic(i, s)
+			if p.heights[i-1] < h && h < p.heights[i+1] {
+				p.heights[i] = h
+			} else {
+				p.heights[i] = p.linear(i, s)
+			}
+			p.pos[i] += s
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction for moving
+// marker i by s (±1).
+func (p *P2Quantile) parabolic(i int, s float64) float64 {
+	return p.heights[i] + s/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+s)*(p.heights[i+1]-p.heights[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-s)*(p.heights[i]-p.heights[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+// linear is the fallback height prediction when the parabola would break
+// marker monotonicity.
+func (p *P2Quantile) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return p.heights[i] + s*(p.heights[j]-p.heights[i])/(p.pos[j]-p.pos[i])
+}
+
+// N returns the number of observations seen.
+func (p *P2Quantile) N() int64 { return p.n }
+
+// Value returns the current quantile estimate: the middle marker once five
+// observations are in, the exact empirical quantile before that (matching
+// the sorted-index convention int(q·(n-1))), and 0 with no observations.
+func (p *P2Quantile) Value() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	if p.n < 5 {
+		buf := append([]float64(nil), p.heights[:p.n]...)
+		sort.Float64s(buf)
+		idx := int(p.q * float64(len(buf)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(buf) {
+			idx = len(buf) - 1
+		}
+		return buf[idx]
+	}
+	return p.heights[2]
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile mirrors the sorted-index convention the simulator's exact
+// oracle uses: element int(q·(n-1)) of the sorted sample.
+func exactQuantile(xs []float64, q float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func TestP2QuantileSmallStreamsExact(t *testing.T) {
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		p := NewP2Quantile(q)
+		if p.Value() != 0 {
+			t.Fatalf("q=%v: empty estimator Value = %v, want 0", q, p.Value())
+		}
+		xs := []float64{5, 1, 4, 2}
+		for i, x := range xs {
+			p.Add(x)
+			if got, want := p.Value(), exactQuantile(xs[:i+1], q); got != want {
+				t.Fatalf("q=%v after %d obs: Value = %v, exact %v", q, i+1, got, want)
+			}
+		}
+	}
+}
+
+func TestP2QuantileApproximatesLargeStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := []struct {
+		name string
+		draw func() float64
+	}{
+		{"uniform", func() float64 { return rng.Float64() * 100 }},
+		{"latency-like", func() float64 { return 40 + 15*rng.NormFloat64()*rng.Float64() }},
+		{"exponential", func() float64 { return rng.ExpFloat64() * 50 }},
+	}
+	for _, tc := range cases {
+		for _, q := range []float64{0.1, 0.5, 0.95} {
+			p := NewP2Quantile(q)
+			xs := make([]float64, 0, 200000)
+			for i := 0; i < 200000; i++ {
+				x := tc.draw()
+				xs = append(xs, x)
+				p.Add(x)
+			}
+			got, want := p.Value(), exactQuantile(xs, q)
+			spread := exactQuantile(xs, 0.99) - exactQuantile(xs, 0.01)
+			if math.Abs(got-want) > 0.02*spread {
+				t.Errorf("%s q=%v: P² %v vs exact %v (spread %v)", tc.name, q, got, want, spread)
+			}
+			if p.N() != 200000 {
+				t.Fatalf("N = %d, want 200000", p.N())
+			}
+		}
+	}
+}
+
+// TestP2QuantileDeterministic pins bit-reproducibility: the same stream
+// always yields the same estimate (the sweep engine's byte-identical
+// matrices depend on it).
+func TestP2QuantileDeterministic(t *testing.T) {
+	run := func() float64 {
+		rng := rand.New(rand.NewSource(7))
+		p := NewP2Quantile(0.1)
+		for i := 0; i < 50000; i++ {
+			p.Add(rng.Float64() * 1000)
+		}
+		return p.Value()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same stream produced %v then %v", a, b)
+	}
+}
+
+func TestP2QuantileSortedAndReversedInput(t *testing.T) {
+	// Monotone inputs are the classic P² stress case (all mass lands in
+	// one cell first); the estimate must still land near the target.
+	n := 100000
+	for _, reversed := range []bool{false, true} {
+		p := NewP2Quantile(0.1)
+		for i := 0; i < n; i++ {
+			x := float64(i)
+			if reversed {
+				x = float64(n - i)
+			}
+			p.Add(x)
+		}
+		if got := p.Value(); math.Abs(got-0.1*float64(n)) > 0.03*float64(n) {
+			t.Errorf("reversed=%v: Value = %v, want ~%v", reversed, got, 0.1*float64(n))
+		}
+	}
+}

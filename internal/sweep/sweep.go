@@ -75,6 +75,11 @@ type Spec struct {
 	// full traces exist for raw-event debugging and cost O(messages ×
 	// nodes) memory per in-flight cell.
 	FullTrace bool `json:"full_trace,omitempty"`
+	// MatrixBudget, when positive, caps every cell's resident latency-
+	// plane bytes (scenario.Spec.MatrixBudget): evicted Dijkstra rows
+	// recompute on demand, bounding per-cell matrix memory at huge
+	// overlay sizes. JSON accepts bytes or a size string ("64MiB").
+	MatrixBudget scenario.Bytes `json:"matrix_budget,omitempty"`
 
 	// OnCell, when set, is called after each cell completes with the
 	// number of finished cells and the total (progress reporting; may be
@@ -154,6 +159,9 @@ func (s *Spec) Resolve(baseDir string) error {
 	}
 	if s.BaseSeed < 0 {
 		return fmt.Errorf("sweep: base_seed %d must be positive", s.BaseSeed)
+	}
+	if s.MatrixBudget < 0 {
+		return fmt.Errorf("sweep: matrix_budget %d must be non-negative", s.MatrixBudget)
 	}
 	for _, st := range s.Strategies {
 		if !knownStrategies[st] {
@@ -270,6 +278,9 @@ func (s *Spec) cells() []cell {
 					}
 					if s.FullTrace {
 						sc.FullTrace = true
+					}
+					if s.MatrixBudget > 0 {
+						sc.MatrixBudget = s.MatrixBudget
 					}
 					out = append(out, cell{
 						scenario: base.Name,

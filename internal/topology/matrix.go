@@ -2,9 +2,17 @@ package topology
 
 import (
 	"container/heap"
+	"container/list"
+	"fmt"
 	"math"
 	"sync"
 	"time"
+)
+
+// Quantized row entry sizes, used for cache-budget accounting.
+const (
+	latEntryBytes = 4 // uint32 nanosecond ticks
+	hopEntryBytes = 2 // uint16 hop counts
 )
 
 // Matrix exposes the all-pairs client-to-client shortest-path latency and
@@ -12,20 +20,48 @@ import (
 // emulator (per-packet delays) and the oracle monitors (paper §4.3 uses
 // global knowledge "extracted directly from the model file").
 //
-// Rows are computed lazily, one Dijkstra per source client on first use,
-// and memoized. Runs that never consult the oracle (flat or TTL
-// strategies) therefore only pay for the rows of clients that actually
-// transmit, instead of the full quadratic precomputation — the difference
-// between O(n) deferred Dijkstras and an O(n²) setup wall at 1k-node
-// sweep cells. Access is safe for concurrent use.
+// Representation. Clients are single-homed leaves — Generate attaches each
+// to exactly one router over one access edge — so every client-to-client
+// shortest path decomposes exactly into access edge + router-level
+// shortest path + access edge (a path through another client would enter
+// and leave over the same positive-latency edge, never shortest). The
+// matrix therefore stores one row per *attach router* over attach routers:
+// S×S entries for the S distinct attach routers in play (≤ the stub count,
+// ~2944 under the default model) instead of N×N client entries, with
+// client lookups synthesized by two adds. Rows are quantized: latencies as
+// uint32 nanosecond ticks (lossless — path latencies here are ms-scale,
+// far below the ~4.29 s ceiling; quantization asserts on overflow, and
+// sub-µs link components rule out any coarser lossless unit) and hop
+// counts as uint16, 2× and 4× smaller than the time.Duration and int rows
+// they replace.
+//
+// Rows are computed lazily, one router-level Dijkstra per attach router on
+// first use, and cached under an optional byte budget (SetBudget):
+// when the resident rows exceed the budget the least-recently-used ones
+// are dropped and recomputed via Dijkstra on demand, so whole-plane scans
+// (the streaming oracle, Stats) run in O(budget) resident memory. With no
+// budget every computed row is retained, which still tops out at the S×S
+// plane. Access is safe for concurrent use.
 type Matrix struct {
 	N      int
 	Coords [][2]float64
 
-	mu   sync.Mutex
-	net  *Network
-	lat  [][]time.Duration
-	hops [][]int
+	// Immutable after ClientMatrix: the client → attach-router collapse.
+	net      *Network
+	stubOf   []int32  // client index → dense attach-router index
+	stubNode []int    // dense attach-router index → node id
+	accessNs []uint32 // client index → access-edge latency in ns
+
+	mu         sync.Mutex
+	budget     int64 // row-cache byte budget; 0 = unbounded
+	resident   int64 // bytes of quantized rows currently cached
+	lat        [][]uint32
+	hops       [][]uint16
+	lruList    *list.List // attach-router indices, most recent at front
+	lruElem    []*list.Element
+	latEver    []bool // latency row computed at least once
+	hopsEver   []bool // hop row computed at least once
+	recomputes int64  // eviction-forced Dijkstra re-runs
 }
 
 // ClientMatrix returns the lazily computed shortest-path latency (Dijkstra)
@@ -33,85 +69,283 @@ type Matrix struct {
 func (n *Network) ClientMatrix() *Matrix {
 	c := len(n.Clients)
 	m := &Matrix{
-		N:      c,
-		Coords: make([][2]float64, c),
-		net:    n,
-		lat:    make([][]time.Duration, c),
-		hops:   make([][]int, c),
+		N:        c,
+		Coords:   make([][2]float64, c),
+		net:      n,
+		stubOf:   make([]int32, c),
+		accessNs: make([]uint32, c),
+		lruList:  list.New(),
 	}
+	stubIndex := make(map[int]int32)
 	for i, id := range n.Clients {
 		m.Coords[i] = [2]float64{n.Nodes[id].X, n.Nodes[id].Y}
+		if len(n.Adj[id]) != 1 || n.Nodes[n.Adj[id][0].To].Kind == Client {
+			// The collapse is exact only for single-homed leaf clients;
+			// Generate never produces anything else.
+			panic(fmt.Sprintf("topology: client %d is not a single-homed leaf", i))
+		}
+		e := n.Adj[id][0]
+		idx, ok := stubIndex[e.To]
+		if !ok {
+			idx = int32(len(m.stubNode))
+			stubIndex[e.To] = idx
+			m.stubNode = append(m.stubNode, e.To)
+		}
+		m.stubOf[i] = idx
+		m.accessNs[i] = quantizeLatNs(int64(e.Latency))
 	}
+	s := len(m.stubNode)
+	m.lat = make([][]uint32, s)
+	m.hops = make([][]uint16, s)
+	m.lruElem = make([]*list.Element, s)
+	m.latEver = make([]bool, s)
+	m.hopsEver = make([]bool, s)
 	return m
 }
 
-// row returns the latency row for client i, running the Dijkstra on first
-// use. Hop counts are deliberately not stored here: the emulator's
-// per-frame delay lookups eventually touch every sender's row, and at 10k
-// clients the hop rows would double a multi-hundred-MB matrix for data
-// only the oracle statistics ever read. Hop rows are materialised
-// separately by hopRow, on demand.
-func (m *Matrix) row(i int) []time.Duration {
+// SetBudget caps the bytes of quantized rows the matrix keeps resident;
+// least-recently-used rows beyond the budget are evicted and recomputed
+// via Dijkstra on demand. A budget of 0 (the default) retains every
+// computed row. The most recently used row is always kept, so lookups
+// make progress under any budget.
+func (m *Matrix) SetBudget(bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.lat[i] == nil {
-		distNs, _ := m.net.dijkstra(m.net.Clients[i])
-		latRow := make([]time.Duration, m.N)
-		for j, dst := range m.net.Clients {
-			latRow[j] = time.Duration(distNs[dst])
-		}
-		m.lat[i] = latRow
-	}
-	return m.lat[i]
+	m.budget = bytes
+	m.evictLocked()
 }
 
-// hopRow returns the hop-count row for client i, running the Dijkstra on
-// first use (and filling the latency row for free, since the search
-// yields both).
-func (m *Matrix) hopRow(i int) []int {
+// Budget returns the row-cache byte budget (0 = unbounded).
+func (m *Matrix) Budget() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.hops[i] == nil {
-		distNs, hops := m.net.dijkstra(m.net.Clients[i])
-		latRow := make([]time.Duration, m.N)
-		hopRow := make([]int, m.N)
-		for j, dst := range m.net.Clients {
-			latRow[j] = time.Duration(distNs[dst])
-			hopRow[j] = hops[dst]
-		}
-		if m.lat[i] == nil {
-			m.lat[i] = latRow
-		}
-		m.hops[i] = hopRow
+	return m.budget
+}
+
+// ResidentBytes returns the bytes of quantized rows currently cached.
+func (m *Matrix) ResidentBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.resident
+}
+
+// Recomputes returns how many row Dijkstras were re-runs of previously
+// evicted rows — the CPU price paid for the byte budget.
+func (m *Matrix) Recomputes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recomputes
+}
+
+// Rows returns the number of attach-router rows backing the client plane
+// (S in the S×S representation).
+func (m *Matrix) Rows() int { return len(m.stubNode) }
+
+// latRowLocked returns the latency row of attach router s, computing it on
+// first use (or after eviction) and marking it most recently used.
+func (m *Matrix) latRowLocked(s int) []uint32 {
+	if m.lat[s] == nil {
+		m.computeRowLocked(s, false)
+	} else {
+		m.touchLocked(s)
 	}
-	return m.hops[i]
+	return m.lat[s]
+}
+
+// hopRowLocked is latRowLocked for hop rows; computing a hop row fills the
+// latency row for free, since one Dijkstra yields both.
+func (m *Matrix) hopRowLocked(s int) []uint16 {
+	if m.hops[s] == nil {
+		m.computeRowLocked(s, true)
+	} else {
+		m.touchLocked(s)
+	}
+	return m.hops[s]
+}
+
+// computeRowLocked runs the router-level Dijkstra for attach router s and
+// installs the quantized row(s), evicting older rows past the budget. A
+// re-run for data the cache held before — not the first hop-row fill of a
+// latency-only row — counts as an eviction-forced recompute.
+func (m *Matrix) computeRowLocked(s int, withHops bool) {
+	if (m.lat[s] == nil && m.latEver[s]) || (withHops && m.hops[s] == nil && m.hopsEver[s]) {
+		m.recomputes++
+	}
+	distNs, hopCnt := m.net.routerDijkstra(m.stubNode[s])
+	n := len(m.stubNode)
+	if m.lat[s] == nil {
+		row := make([]uint32, n)
+		for t, node := range m.stubNode {
+			row[t] = quantizeLatNs(distNs[node])
+		}
+		m.lat[s] = row
+		m.latEver[s] = true
+		m.resident += int64(n) * latEntryBytes
+	}
+	if withHops && m.hops[s] == nil {
+		row := make([]uint16, n)
+		for t, node := range m.stubNode {
+			row[t] = quantizeHops(hopCnt[node])
+		}
+		m.hops[s] = row
+		m.hopsEver[s] = true
+		m.resident += int64(n) * hopEntryBytes
+	}
+	m.touchLocked(s)
+	m.evictLocked()
+}
+
+// touchLocked marks attach router s most recently used.
+func (m *Matrix) touchLocked(s int) {
+	if e := m.lruElem[s]; e != nil {
+		m.lruList.MoveToFront(e)
+		return
+	}
+	m.lruElem[s] = m.lruList.PushFront(s)
+}
+
+// evictLocked drops least-recently-used rows until the resident bytes fit
+// the budget. The Len() > 1 floor keeps the most recently used row — the
+// one a caller just computed or touched — resident under any budget.
+func (m *Matrix) evictLocked() {
+	if m.budget <= 0 {
+		return
+	}
+	for m.resident > m.budget && m.lruList.Len() > 1 {
+		e := m.lruList.Back()
+		s := e.Value.(int)
+		n := int64(len(m.stubNode))
+		if m.lat[s] != nil {
+			m.resident -= n * latEntryBytes
+			m.lat[s] = nil
+		}
+		if m.hops[s] != nil {
+			m.resident -= n * hopEntryBytes
+			m.hops[s] = nil
+		}
+		m.lruList.Remove(e)
+		m.lruElem[s] = nil
+	}
 }
 
 // Latency returns the shortest-path latency from client i to client j.
 func (m *Matrix) Latency(i, j int) time.Duration {
-	return m.row(i)[j]
+	if i == j {
+		return 0
+	}
+	m.mu.Lock()
+	v := m.latRowLocked(int(m.stubOf[i]))[m.stubOf[j]]
+	m.mu.Unlock()
+	return time.Duration(uint64(v) + uint64(m.accessNs[i]) + uint64(m.accessNs[j]))
 }
 
 // Hops returns the hop count of the shortest path from client i to j.
+// Latency ties resolve to the fewest hops over all shortest paths.
 func (m *Matrix) Hops(i, j int) int {
-	return m.hopRow(i)[j]
+	if i == j {
+		return 0
+	}
+	m.mu.Lock()
+	h := m.hopRowLocked(int(m.stubOf[i]))[m.stubOf[j]]
+	m.mu.Unlock()
+	return int(h) + 2 // the two access edges
 }
 
-// Materialize forces every row (latencies and hop counts), paying the
-// full all-pairs cost upfront. Benchmarks and whole-matrix consumers use
-// it; ordinary runs rely on the lazy per-row path.
-func (m *Matrix) Materialize() {
-	for i := 0; i < m.N; i++ {
-		m.hopRow(i)
+// LatencyRow returns client i's full latency row as a freshly allocated
+// slice owned by the caller. It resolves one cached attach-router row (one
+// Dijkstra at most) and synthesizes the client entries, so a whole-matrix
+// scan consuming one row at a time — the streaming oracle, Stats — stays
+// within the cache budget: the backing row may be evicted as soon as the
+// next row is pulled.
+func (m *Matrix) LatencyRow(i int) []time.Duration {
+	out := make([]time.Duration, m.N)
+	m.LatencyRowInto(out, i)
+	return out
+}
+
+// HopsRow is LatencyRow for hop counts.
+func (m *Matrix) HopsRow(i int) []int {
+	out := make([]int, m.N)
+	m.HopsRowInto(out, i)
+	return out
+}
+
+// LatencyRowInto is LatencyRow into a caller-owned buffer of length N,
+// for scans that reuse one buffer across rows.
+func (m *Matrix) LatencyRowInto(dst []time.Duration, i int) {
+	m.mu.Lock()
+	row := m.latRowLocked(int(m.stubOf[i]))
+	m.mu.Unlock()
+	// Computed rows are immutable; eviction only drops the cache
+	// reference, so reading outside the lock is safe.
+	ai := uint64(m.accessNs[i])
+	for j := range dst {
+		if j == i {
+			dst[j] = 0
+			continue
+		}
+		dst[j] = time.Duration(uint64(row[m.stubOf[j]]) + ai + uint64(m.accessNs[j]))
 	}
 }
 
-// dijkstra returns shortest-path distance in nanoseconds and hop counts
-// from src to every node.
-func (n *Network) dijkstra(src int) ([]int64, []int) {
+// HopsRowInto is HopsRow into a caller-owned buffer of length N.
+func (m *Matrix) HopsRowInto(dst []int, i int) {
+	m.mu.Lock()
+	row := m.hopRowLocked(int(m.stubOf[i]))
+	m.mu.Unlock()
+	for j := range dst {
+		if j == i {
+			dst[j] = 0
+			continue
+		}
+		dst[j] = int(row[m.stubOf[j]]) + 2
+	}
+}
+
+// Materialize forces every row (latencies and hop counts), paying the full
+// per-attach-router cost upfront — S Dijkstras, subject to the byte budget.
+// Benchmarks and whole-matrix consumers use it; ordinary runs rely on the
+// lazy per-row path.
+func (m *Matrix) Materialize() {
+	for s := range m.stubNode {
+		m.mu.Lock()
+		m.hopRowLocked(s)
+		m.mu.Unlock()
+	}
+}
+
+// quantizeLatNs narrows a nanosecond path latency to the uint32 row entry,
+// asserting it fits: values outside [0, ~4.29s] mean an absurd or
+// disconnected topology, a programming error.
+func quantizeLatNs(ns int64) uint32 {
+	if ns < 0 || ns > math.MaxUint32 {
+		panic(fmt.Sprintf("topology: path latency %dns overflows the quantized uint32 nanosecond row (graph disconnected or latency beyond ~4.29s)", ns))
+	}
+	return uint32(ns)
+}
+
+// quantizeHops narrows a hop count to the uint16 row entry, asserting it
+// fits (a negative count marks an unreachable node).
+func quantizeHops(h int32) uint16 {
+	if h < 0 || h > math.MaxUint16 {
+		panic(fmt.Sprintf("topology: hop count %d does not fit the quantized uint16 row (graph disconnected or path beyond 65535 hops)", h))
+	}
+	return uint16(h)
+}
+
+// routerDijkstra returns shortest-path distance in nanoseconds and hop
+// counts from src to every node, never routing through client leaves. The
+// heap orders items by (distance, hops) lexicographically and relaxations
+// use the same order, so hop counts on latency ties are the minimum over
+// all shortest paths regardless of processing order — a recomputed row is
+// byte-equal to the evicted original.
+func (n *Network) routerDijkstra(src int) ([]int64, []int32) {
 	const inf = math.MaxInt64
 	distNs := make([]int64, len(n.Nodes))
-	hops := make([]int, len(n.Nodes))
+	hops := make([]int32, len(n.Nodes))
 	done := make([]bool, len(n.Nodes))
 	for i := range distNs {
 		distNs[i] = inf
@@ -119,7 +353,7 @@ func (n *Network) dijkstra(src int) ([]int64, []int) {
 	}
 	distNs[src] = 0
 	hops[src] = 0
-	pq := &nodeHeap{{node: src, dist: 0}}
+	pq := &nodeHeap{{node: src}}
 	for pq.Len() > 0 {
 		it := heap.Pop(pq).(heapItem)
 		if done[it.node] {
@@ -127,11 +361,15 @@ func (n *Network) dijkstra(src int) ([]int64, []int) {
 		}
 		done[it.node] = true
 		for _, e := range n.Adj[it.node] {
+			if n.Nodes[e.To].Kind == Client {
+				continue
+			}
 			nd := distNs[it.node] + int64(e.Latency)
-			if nd < distNs[e.To] || (nd == distNs[e.To] && hops[it.node]+1 < hops[e.To]) {
+			nh := hops[it.node] + 1
+			if nd < distNs[e.To] || (nd == distNs[e.To] && nh < hops[e.To]) {
 				distNs[e.To] = nd
-				hops[e.To] = hops[it.node] + 1
-				heap.Push(pq, heapItem{node: e.To, dist: nd})
+				hops[e.To] = nh
+				heap.Push(pq, heapItem{node: e.To, dist: nd, hops: nh})
 			}
 		}
 	}
@@ -141,12 +379,18 @@ func (n *Network) dijkstra(src int) ([]int64, []int) {
 type heapItem struct {
 	node int
 	dist int64
+	hops int32
 }
 
 type nodeHeap []heapItem
 
-func (h nodeHeap) Len() int            { return len(h) }
-func (h nodeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].hops < h[j].hops
+}
 func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
 func (h *nodeHeap) Pop() interface{} {
@@ -176,38 +420,41 @@ type Stats struct {
 }
 
 // Stats computes summary statistics of the client-to-client paths. It
-// forces the full matrix.
+// consumes the matrix one source row at a time — each client's latencies
+// and hop counts are synthesized into two reused buffers from the cached
+// attach-router rows — so a 10k-client pass never forces a resident full
+// matrix and respects the cache budget throughout. Sums accumulate in
+// integers, so the result is independent of iteration batching.
 func (m *Matrix) Stats(networkNodes int) Stats {
 	var s Stats
 	s.NetworkNodes = networkNodes
-	var sumHops float64
-	var sumLat time.Duration
+	var sumHops, sumLatNs int64
 	var in56, in3960 int
+	lat := make([]time.Duration, m.N)
+	hops := make([]int, m.N)
 	for i := 0; i < m.N; i++ {
-		// hopRow first: it fills the latency row from the same Dijkstra,
-		// so the row() call below is a cache hit.
-		hops := m.hopRow(i)
-		lat := m.row(i)
+		m.HopsRowInto(hops, i)
+		m.LatencyRowInto(lat, i)
 		for j := 0; j < m.N; j++ {
 			if i == j {
 				continue
 			}
 			s.ClientPairs++
 			h := hops[j]
-			sumHops += float64(h)
+			sumHops += int64(h)
 			if h >= 5 && h <= 6 {
 				in56++
 			}
 			l := lat[j]
-			sumLat += l
+			sumLatNs += int64(l)
 			if l >= 39*time.Millisecond && l <= 60*time.Millisecond {
 				in3960++
 			}
 		}
 	}
 	if s.ClientPairs > 0 {
-		s.MeanHops = sumHops / float64(s.ClientPairs)
-		s.MeanLatency = sumLat / time.Duration(s.ClientPairs)
+		s.MeanHops = float64(sumHops) / float64(s.ClientPairs)
+		s.MeanLatency = time.Duration(sumLatNs) / time.Duration(s.ClientPairs)
 		s.FracHops5to6 = float64(in56) / float64(s.ClientPairs)
 		s.FracLat39to60 = float64(in3960) / float64(s.ClientPairs)
 	}

@@ -1,0 +1,254 @@
+package topology
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// refDijkstra is an independent full-graph reference: a lexicographic
+// (latency, hops) Dijkstra from one client over every node, clients
+// included — the semantics the quantized attach-router representation
+// must reproduce exactly.
+func refDijkstra(n *Network, src int) ([]int64, []int32) {
+	const inf = math.MaxInt64
+	dist := make([]int64, len(n.Nodes))
+	hops := make([]int32, len(n.Nodes))
+	done := make([]bool, len(n.Nodes))
+	for i := range dist {
+		dist[i] = inf
+		hops[i] = -1
+	}
+	dist[src] = 0
+	hops[src] = 0
+	pq := &nodeHeap{{node: src}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		for _, e := range n.Adj[it.node] {
+			nd := dist[it.node] + int64(e.Latency)
+			nh := hops[it.node] + 1
+			if nd < dist[e.To] || (nd == dist[e.To] && nh < hops[e.To]) {
+				dist[e.To] = nd
+				hops[e.To] = nh
+				heap.Push(pq, heapItem{node: e.To, dist: nd, hops: nh})
+			}
+		}
+	}
+	return dist, hops
+}
+
+// roundTripParams are the topology variants the quantized representation
+// is pinned against: the paper-size model, scaled-down router populations,
+// and a population large enough that clients wrap shubs and share attach
+// routers.
+func roundTripParams() map[string]Params {
+	def := DefaultParams()
+	def.Clients = 50
+
+	scaled := DefaultParams().Scaled(4)
+	scaled.Clients = 60
+	scaled.Seed = 7
+
+	// Scaled(8) leaves 256 stub routers; 300 clients force shared stubs.
+	shared := DefaultParams().Scaled(8)
+	shared.Clients = 300
+	shared.Seed = 3
+
+	return map[string]Params{"default": def, "scaled4": scaled, "sharedStubs": shared}
+}
+
+// TestQuantizedRoundTrip property-tests that the uint32/uint16 quantized
+// rows reproduce the full-graph Dijkstra output exactly — latency to the
+// nanosecond, hops to the lexicographic minimum — across topology
+// variants, including clients sharing attach stubs.
+func TestQuantizedRoundTrip(t *testing.T) {
+	for name, p := range roundTripParams() {
+		p := p
+		t.Run(name, func(t *testing.T) {
+			net := Generate(p)
+			m := net.ClientMatrix()
+			for i := 0; i < m.N; i++ {
+				dist, hops := refDijkstra(net, net.Clients[i])
+				row := m.LatencyRow(i)
+				hrow := m.HopsRow(i)
+				for j := 0; j < m.N; j++ {
+					wantLat := time.Duration(dist[net.Clients[j]])
+					if i == j {
+						wantLat = 0
+					}
+					if m.Latency(i, j) != wantLat {
+						t.Fatalf("Latency(%d,%d) = %v, reference %v", i, j, m.Latency(i, j), wantLat)
+					}
+					if row[j] != wantLat {
+						t.Fatalf("LatencyRow(%d)[%d] = %v, reference %v", i, j, row[j], wantLat)
+					}
+					wantHops := int(hops[net.Clients[j]])
+					if i == j {
+						wantHops = 0
+					}
+					if m.Hops(i, j) != wantHops {
+						t.Fatalf("Hops(%d,%d) = %d, reference %d", i, j, m.Hops(i, j), wantHops)
+					}
+					if hrow[j] != wantHops {
+						t.Fatalf("HopsRow(%d)[%d] = %d, reference %d", i, j, hrow[j], wantHops)
+					}
+				}
+			}
+		})
+	}
+}
+
+// twoRowBudget returns a byte budget that fits roughly two full row pairs.
+func twoRowBudget(m *Matrix) int64 {
+	return 2 * int64(m.Rows()) * (latEntryBytes + hopEntryBytes)
+}
+
+// TestEvictionRecomputeByteEqual walks every row under a two-row budget,
+// snapshots the values, then revisits the evicted rows: the on-demand
+// Dijkstra recomputation must reproduce them byte for byte.
+func TestEvictionRecomputeByteEqual(t *testing.T) {
+	p := DefaultParams().Scaled(4)
+	p.Clients = 80
+	m := Generate(p).ClientMatrix()
+	m.SetBudget(twoRowBudget(m))
+
+	first := make([][]time.Duration, m.N)
+	firstHops := make([][]int, m.N)
+	for i := 0; i < m.N; i++ {
+		first[i] = m.LatencyRow(i)
+		firstHops[i] = m.HopsRow(i)
+	}
+	if m.Recomputes() != 0 {
+		t.Fatalf("first pass already recomputed %d rows", m.Recomputes())
+	}
+	for i := 0; i < m.N; i++ {
+		lat := m.LatencyRow(i)
+		hops := m.HopsRow(i)
+		for j := range lat {
+			if lat[j] != first[i][j] {
+				t.Fatalf("recomputed Latency(%d,%d) = %v, first pass %v", i, j, lat[j], first[i][j])
+			}
+			if hops[j] != firstHops[i][j] {
+				t.Fatalf("recomputed Hops(%d,%d) = %d, first pass %d", i, j, hops[j], firstHops[i][j])
+			}
+		}
+	}
+	if m.Recomputes() == 0 {
+		t.Fatal("two-row budget over a full walk evicted nothing")
+	}
+}
+
+// TestBudgetEnforced checks the cache honours its byte budget throughout a
+// scan (modulo the always-kept most recent row) and that lifting the
+// budget stops eviction.
+func TestBudgetEnforced(t *testing.T) {
+	p := DefaultParams().Scaled(4)
+	p.Clients = 60
+	m := Generate(p).ClientMatrix()
+	budget := twoRowBudget(m)
+	m.SetBudget(budget)
+	if got := m.Budget(); got != budget {
+		t.Fatalf("Budget() = %d, want %d", got, budget)
+	}
+	for i := 0; i < m.N; i++ {
+		m.HopsRow(i)
+		m.LatencyRow(i)
+		if r := m.ResidentBytes(); r > budget {
+			t.Fatalf("resident %d bytes exceeds budget %d after row %d", r, budget, i)
+		}
+	}
+	// A budget below one row pair still serves lookups: the most recent
+	// row is never evicted.
+	m.SetBudget(1)
+	if m.Latency(0, 1) <= 0 {
+		t.Fatal("lookup under a sub-row budget returned nonsense")
+	}
+	if r := m.ResidentBytes(); r <= 0 {
+		t.Fatalf("resident %d bytes under sub-row budget, want the kept row", r)
+	}
+	// Unbounded again: a full walk retains every row.
+	m.SetBudget(0)
+	m.Materialize()
+	want := int64(m.Rows()) * int64(m.Rows()) * (latEntryBytes + hopEntryBytes)
+	if r := m.ResidentBytes(); r != want {
+		t.Fatalf("resident %d bytes after unbounded Materialize, want %d", r, want)
+	}
+	if m.Rows() > m.N {
+		t.Fatalf("more attach-router rows (%d) than clients (%d)", m.Rows(), m.N)
+	}
+}
+
+// TestConcurrentTinyBudget hammers one matrix from many goroutines under a
+// budget that forces constant eviction and recomputation, comparing every
+// answer against an unbudgeted twin. Run with -race this doubles as the
+// row-cache race test.
+func TestConcurrentTinyBudget(t *testing.T) {
+	p := DefaultParams().Scaled(8)
+	p.Clients = 50
+	net := Generate(p)
+	m := net.ClientMatrix()
+	m.SetBudget(twoRowBudget(m))
+	ref := net.ClientMatrix() // unbudgeted twin, warmed on first use
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for k := 0; k < 400; k++ {
+				i, j := rng.Intn(m.N), rng.Intn(m.N)
+				if got, want := m.Latency(i, j), ref.Latency(i, j); got != want {
+					errs <- "latency mismatch under concurrent eviction"
+					return
+				}
+				if got, want := m.Hops(i, j), ref.Hops(i, j); got != want {
+					errs <- "hops mismatch under concurrent eviction"
+					return
+				}
+			}
+		}(int64(g + 1))
+	}
+	// A concurrent whole-plane consumer, like the streaming oracle.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.Stats(0)
+	}()
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+// TestStatsBounded pins the Stats memory fix: a full statistics pass under
+// a small budget keeps the resident rows within that budget instead of
+// forcing the whole plane resident, and still produces the exact same
+// aggregate values as an unbudgeted pass.
+func TestStatsBounded(t *testing.T) {
+	p := DefaultParams().Scaled(4)
+	p.Clients = 80
+	net := Generate(p)
+
+	m := net.ClientMatrix()
+	budget := twoRowBudget(m)
+	m.SetBudget(budget)
+	got := m.Stats(17)
+	if r := m.ResidentBytes(); r > budget {
+		t.Fatalf("Stats left %d resident bytes, budget %d", r, budget)
+	}
+
+	want := net.ClientMatrix().Stats(17)
+	if got != want {
+		t.Fatalf("budgeted Stats = %+v, unbudgeted %+v", got, want)
+	}
+}

@@ -12,6 +12,12 @@
 // hierarchy embedded in a plane, distance-proportional link latencies, and
 // Dijkstra-derived all-pairs client matrices. Default parameters are
 // calibrated so the generated models land in the same latency and hop bands.
+//
+// The client matrix is stored compactly (see Matrix): quantized rows per
+// attach router rather than per client, lazily computed and optionally
+// bounded by a byte budget with LRU eviction and on-demand recomputation,
+// so the latency plane stays in the tens of megabytes at any client
+// population.
 package topology
 
 import (
