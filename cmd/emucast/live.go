@@ -33,6 +33,8 @@ func runLive(args []string, out, errOut io.Writer) error {
 		diffPath  = fs.String("diff-json", "", "with -compare-sim: write the diff JSON to this file")
 		quiet     = fs.Bool("q", false, "suppress progress logging on stderr")
 	)
+	var ofl obsFlags
+	ofl.register(fs)
 	fs.Usage = func() {
 		fmt.Fprintf(errOut, "usage: emucast live [flags] {-spec <file.json> | <builtin>}\n"+
 			"Replays a scenario Spec on real TCP peers (loopback, ephemeral ports)\n"+
@@ -73,7 +75,13 @@ func runLive(args []string, out, errOut io.Writer) error {
 		spec.Nodes = *nodes
 	}
 
-	opts := live.Options{TimeScale: *timeScale}
+	plane, err := ofl.open(errOut)
+	if err != nil {
+		return err
+	}
+	defer plane.close()
+
+	opts := live.Options{TimeScale: *timeScale, Obs: plane.reg, EventLog: plane.log}
 	if !*quiet {
 		opts.Logf = func(format string, args ...interface{}) {
 			fmt.Fprintf(errOut, format+"\n", args...)

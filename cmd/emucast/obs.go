@@ -1,0 +1,93 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"emcast/internal/obs"
+)
+
+// obsFlags is the observability flag pair shared by the scenario, sweep
+// and live subcommands.
+type obsFlags struct {
+	addr string
+	log  string
+}
+
+// register installs -obs-addr and -obs-log on the flag set.
+func (o *obsFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&o.addr, "obs-addr", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof\non this address for the duration of the run (e.g. :9090, 127.0.0.1:0)")
+	fs.StringVar(&o.log, "obs-log", "", "append structured JSONL run events (phase boundaries, cell\ncompletions, final summary) to this file")
+}
+
+// obsPlane is an opened observability plane; zero value is fully inert.
+type obsPlane struct {
+	reg *obs.Registry
+	srv *obs.Server
+	log *obs.EventLog
+}
+
+// open builds the plane the flags ask for: a registry is created when
+// either output is wanted, the HTTP server's bound address is announced
+// on errOut (so `-obs-addr :0` is usable), and close tears both down.
+func (o *obsFlags) open(errOut io.Writer) (obsPlane, error) {
+	var p obsPlane
+	if o.addr == "" && o.log == "" {
+		return p, nil
+	}
+	p.reg = obs.NewRegistry()
+	if o.addr != "" {
+		srv, err := obs.Serve(o.addr, p.reg)
+		if err != nil {
+			return obsPlane{}, err
+		}
+		p.srv = srv
+		fmt.Fprintf(errOut, "obs: serving metrics on http://%s/\n", srv.Addr())
+	}
+	if o.log != "" {
+		log, err := obs.OpenEventLog(o.log, p.reg)
+		if err != nil {
+			p.srv.Close()
+			return obsPlane{}, err
+		}
+		p.log = log
+	}
+	return p, nil
+}
+
+// close emits the final-summary event and releases the HTTP listener and
+// log file. Safe on a zero plane.
+func (p obsPlane) close() {
+	if p.log != nil {
+		p.log.Event("final_summary", nil)
+	}
+	p.log.Close()
+	p.srv.Close()
+}
+
+// humanCount renders a rate or count compactly (1.8M, 42.3k, 890).
+func humanCount(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// humanBytes renders a byte count compactly (1.2GiB, 312MiB, 4KiB).
+func humanBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.0fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.0fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"emcast/internal/scenario"
 )
@@ -28,6 +29,8 @@ func runScenario(args []string, out, errOut io.Writer) error {
 		full    = fs.Bool("full-trace", false, "retain raw delivery events instead of streaming aggregates\n(identical report, O(messages × nodes) memory; for debugging)")
 		mbudget = fs.String("matrix-budget", "", "cap resident latency-plane bytes (e.g. 64MiB); evicted\nDijkstra rows recompute on demand")
 	)
+	var ofl obsFlags
+	ofl.register(fs)
 	fs.Usage = func() {
 		fmt.Fprintf(errOut, "usage: emucast scenario [flags] {-f <file.json> | <builtin>}\n")
 		fmt.Fprintf(errOut, "builtins: %s\n", strings.Join(scenario.BuiltinNames(), " "))
@@ -95,14 +98,27 @@ func runScenario(args []string, out, errOut io.Writer) error {
 		return nil
 	}
 
+	plane, err := ofl.open(errOut)
+	if err != nil {
+		return err
+	}
+	defer plane.close()
+	spec.Obs = plane.reg
+	spec.EventLog = plane.log
+
 	eng, err := scenario.New(spec)
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	rep, err := eng.Run()
 	if err != nil {
 		return err
 	}
+	wall := time.Since(start)
+	events := eng.Runner().Events()
+	fmt.Fprintf(errOut, "scenario: %d emulator events in %s, %s events/sec\n",
+		events, wall.Round(time.Millisecond), humanCount(float64(events)/wall.Seconds()))
 	if *text {
 		fmt.Fprint(out, rep.String())
 		return nil

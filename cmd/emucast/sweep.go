@@ -6,8 +6,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"emcast/internal/scenario"
 	"emcast/internal/sweep"
@@ -35,7 +37,10 @@ func runSweep(args []string, out, errOut io.Writer) error {
 		jsonPath   = fs.String("json", "", "also write the matrix JSON to this file")
 		outPath    = fs.String("o", "", "write output to this file instead of stdout")
 		verbose    = fs.Bool("v", false, "log per-cell progress to stderr")
+		progress   = fs.Duration("progress", 0, "print progress lines to stderr at most this often\n(-v prints every cell)")
 	)
+	var ofl obsFlags
+	ofl.register(fs)
 	fs.Usage = func() {
 		fmt.Fprintf(errOut, "usage: emucast sweep [flags]\n"+
 			"       emucast sweep -f <sweep.json> [flags]\n"+
@@ -133,16 +138,43 @@ func runSweep(args []string, out, errOut io.Writer) error {
 	if err := spec.Resolve(baseDir); err != nil {
 		return err
 	}
-	if *verbose {
-		spec.OnCell = func(done, total int) {
-			fmt.Fprintf(errOut, "sweep: %d/%d cells done\n", done, total)
+	plane, err := ofl.open(errOut)
+	if err != nil {
+		return err
+	}
+	defer plane.close()
+	spec.Obs = plane.reg
+	spec.EventLog = plane.log
+
+	// The OnCell hook both accumulates the run's emulator event count (for
+	// the final throughput summary) and prints progress: every cell with
+	// -v, throttled to the -progress interval otherwise.
+	start := time.Now()
+	var totalEvents uint64
+	var lastLine time.Time
+	spec.OnCell = func(c sweep.CellDone) {
+		totalEvents += c.Events
+		now := time.Now()
+		if !*verbose && (*progress <= 0 || (now.Sub(lastLine) < *progress && c.Done != c.Total)) {
+			return
 		}
+		lastLine = now
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		eps := float64(totalEvents) / now.Sub(start).Seconds()
+		fmt.Fprintf(errOut, "sweep: %d/%d cells done (%s/%s n=%d seed=%d in %s) %s events/sec heap %s\n",
+			c.Done, c.Total, c.Scenario, c.Strategy, c.Nodes, c.Seed,
+			c.Duration.Round(time.Millisecond), humanCount(eps), humanBytes(ms.HeapInuse))
 	}
 
 	m, err := spec.Run()
 	if err != nil {
 		return err
 	}
+	wall := time.Since(start)
+	fmt.Fprintf(errOut, "sweep: %d cells in %s, %d emulator events, %s events/sec\n",
+		len(m.Cells), wall.Round(time.Millisecond), totalEvents,
+		humanCount(float64(totalEvents)/wall.Seconds()))
 
 	var rendered []byte
 	switch *format {

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"emcast/internal/obs"
 )
 
 // Handler receives frames delivered to a node.
@@ -69,12 +71,36 @@ type Network struct {
 	group       []int
 	partitioned bool
 
-	// Counters for run statistics (paper §5.4).
+	// Counters for run statistics (paper §5.4). EventsProcessed counts
+	// every executed event (frame deliveries and timer fires) — the raw
+	// events/sec denominator for simulator throughput.
 	FramesSent      uint64
 	FramesDelivered uint64
 	FramesLost      uint64
 	BytesDelivered  uint64
+	EventsProcessed uint64
+
+	// ins mirrors the counters above into an obs registry, when attached.
+	ins Instruments
 }
+
+// Instruments are optional observability counters the emulator bumps as
+// it runs (see internal/obs). The plain counter fields above are
+// single-goroutine state, unreadable mid-run from a scrape handler; these
+// are atomic, so a live /metrics endpoint can watch a run in flight. All
+// fields are nil-safe: an unattached network pays one predicted branch
+// per bump.
+type Instruments struct {
+	Events          *obs.Counter
+	FramesSent      *obs.Counter
+	FramesDelivered *obs.Counter
+	FramesLost      *obs.Counter
+	BytesDelivered  *obs.Counter
+}
+
+// SetInstruments attaches observability counters. Call before Run;
+// counters never influence event order or timing.
+func (n *Network) SetInstruments(ins Instruments) { n.ins = ins }
 
 type linkKey struct{ from, to int }
 
@@ -194,12 +220,15 @@ func (n *Network) cut(from, to int) bool {
 // reuse the buffer.
 func (n *Network) Send(from, to int, frame []byte) {
 	n.FramesSent++
+	n.ins.FramesSent.Inc()
 	if n.silenced[from] || n.silenced[to] || n.cut(from, to) {
 		n.FramesLost++
+		n.ins.FramesLost.Inc()
 		return
 	}
 	if n.cfg.Loss > 0 && n.rng.Float64() < n.cfg.Loss {
 		n.FramesLost++
+		n.ins.FramesLost.Inc()
 		return
 	}
 	depart := n.now
@@ -261,19 +290,25 @@ func (n *Network) Step() bool {
 			panic(fmt.Sprintf("emunet: time went backwards: %v < %v", ev.at, n.now))
 		}
 		n.now = ev.at
+		n.EventsProcessed++
+		n.ins.Events.Inc()
 		switch ev.kind {
 		case evDeliver:
 			if n.silenced[ev.from] || n.silenced[ev.to] || n.cut(ev.from, ev.to) {
 				n.FramesLost++
+				n.ins.FramesLost.Inc()
 				continue
 			}
 			h := n.handlers[ev.to]
 			if h == nil {
 				n.FramesLost++
+				n.ins.FramesLost.Inc()
 				continue
 			}
 			n.FramesDelivered++
 			n.BytesDelivered += uint64(len(ev.frame))
+			n.ins.FramesDelivered.Inc()
+			n.ins.BytesDelivered.Add(int64(len(ev.frame)))
 			h.HandleFrame(ev.from, ev.frame)
 		case evTimer:
 			if ev.timer.stopped {

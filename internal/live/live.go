@@ -28,6 +28,8 @@ import (
 	"time"
 
 	"emcast"
+	"emcast/internal/neem"
+	"emcast/internal/obs"
 	"emcast/internal/peer"
 	"emcast/internal/scenario"
 	"emcast/internal/sim"
@@ -55,6 +57,12 @@ type Options struct {
 	Fanout int
 	// Logf, when set, receives progress lines (phase starts, churn).
 	Logf func(format string, args ...interface{})
+	// Obs, when set, receives fleet transport instruments (frames, wire
+	// bytes, send-queue depth, live peer count); EventLog, when set, gets
+	// run_start / phase_end / run_end records. Observability only — the
+	// played schedule is identical with or without them.
+	Obs      *obs.Registry
+	EventLog *obs.EventLog
 }
 
 func (o *Options) fill(spec *scenario.Spec) {
@@ -124,9 +132,12 @@ type Harness struct {
 	failed      map[peer.ID]bool
 	retiredSent uint64
 	retiredLost uint64
+	retiredSndB uint64 // wire bytes sent by since-closed peers
+	retiredRcvB uint64 // wire bytes received by since-closed peers
 	nextJoiner  int
 	skipped     []int
 	closing     sync.WaitGroup
+	obsFuncs    []*obs.Func
 
 	// Partition/crash state read by every peer's link filter, on
 	// transport goroutines — its own lock keeps filter evaluation off
@@ -185,6 +196,67 @@ func (h *Harness) sideOf(n emcast.NodeID) int {
 		return s
 	}
 	return -1
+}
+
+// fleetStats aggregates transport stats across the whole fleet, retired
+// peers included, so the counters only grow as peers churn.
+func (h *Harness) fleetStats() neem.Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	agg := neem.Stats{
+		FramesSent:    h.retiredSent,
+		FramesLost:    h.retiredLost,
+		BytesSent:     h.retiredSndB,
+		BytesReceived: h.retiredRcvB,
+	}
+	for _, p := range h.peers {
+		s := p.TransportStats()
+		agg.FramesSent += s.FramesSent
+		agg.FramesLost += s.FramesLost
+		agg.BytesSent += s.BytesSent
+		agg.BytesReceived += s.BytesReceived
+		agg.QueueDepth += s.QueueDepth
+	}
+	return agg
+}
+
+// attachObs registers fleet-wide callback instruments; callbacks walk
+// the live peer set under the harness lock, so a scrape sees a
+// consistent view of a running fleet.
+func (h *Harness) attachObs() {
+	reg := h.opts.Obs
+	if reg == nil {
+		return
+	}
+	stat := func(f func(neem.Stats) float64) func() float64 {
+		return func() float64 { return f(h.fleetStats()) }
+	}
+	h.obsFuncs = []*obs.Func{
+		reg.CounterFunc("live_frames_sent_total", "frames written to fleet sockets",
+			stat(func(s neem.Stats) float64 { return float64(s.FramesSent) })),
+		reg.CounterFunc("live_frames_lost_total", "frames lost before transmission (purged, filtered or unroutable)",
+			stat(func(s neem.Stats) float64 { return float64(s.FramesLost) })),
+		reg.CounterFunc("live_bytes_sent_total", "wire bytes written by the fleet",
+			stat(func(s neem.Stats) float64 { return float64(s.BytesSent) })),
+		reg.CounterFunc("live_bytes_received_total", "wire bytes read by the fleet",
+			stat(func(s neem.Stats) float64 { return float64(s.BytesReceived) })),
+		reg.GaugeFunc("live_send_queue_depth", "frames parked in fleet send queues",
+			stat(func(s neem.Stats) float64 { return float64(s.QueueDepth) })),
+		reg.GaugeFunc("live_peers", "peers currently up", func() float64 {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			return float64(len(h.liveAllLocked()))
+		}),
+	}
+}
+
+// releaseObs detaches the fleet instruments: counter finals fold into
+// residuals, gauges drop. Idempotent.
+func (h *Harness) releaseObs() {
+	for _, f := range h.obsFuncs {
+		f.Release()
+	}
+	h.obsFuncs = nil
 }
 
 // wall maps a virtual offset to its wall-clock pacing.
@@ -321,6 +393,16 @@ func (h *Harness) Run() (*scenario.Report, error) {
 		}
 	}
 	defer h.shutdown()
+	h.attachObs()
+	defer h.releaseObs()
+	h.opts.EventLog.Event("run_start", map[string]interface{}{
+		"scenario": h.spec.Name,
+		"nodes":    h.spec.Nodes,
+		"strategy": h.spec.Strategy,
+		"seed":     h.spec.Seed,
+		"phases":   len(h.spec.Phases),
+		"harness":  "live",
+	})
 
 	h.logf("live: %d peers up, warming %v", h.spec.Nodes, h.opts.Warmup)
 	time.Sleep(h.opts.Warmup)
@@ -354,8 +436,21 @@ func (h *Harness) Run() (*scenario.Report, error) {
 		} else {
 			bounds = append(bounds, h.boundary(h.tracer.Checkpoint()))
 		}
+		h.opts.EventLog.Event("phase_end", map[string]interface{}{
+			"scenario": h.spec.Name,
+			"phase":    p.Name,
+			"index":    i,
+			"wall_s":   time.Since(h.epoch).Seconds(),
+			"harness":  "live",
+		})
 	}
-	return h.report(starts, bounds, msgs), nil
+	rep := h.report(starts, bounds, msgs)
+	h.opts.EventLog.Event("run_end", map[string]interface{}{
+		"scenario": h.spec.Name,
+		"wall_s":   time.Since(h.epoch).Seconds(),
+		"harness":  "live",
+	})
+	return rep, nil
 }
 
 // playPhase schedules every traffic arrival, churn sub-event and network
@@ -533,9 +628,11 @@ func (h *Harness) kill(leave bool) {
 	delete(h.peers, victim)
 	h.failed[peer.ID(victim)] = true
 	if p != nil {
-		s, l := p.Frames()
-		h.retiredSent += s
-		h.retiredLost += l
+		s := p.TransportStats()
+		h.retiredSent += s.FramesSent
+		h.retiredLost += s.FramesLost
+		h.retiredSndB += s.BytesSent
+		h.retiredRcvB += s.BytesReceived
 	}
 	h.mu.Unlock()
 
@@ -593,9 +690,11 @@ func (h *Harness) shutdown() {
 	h.mu.Lock()
 	peers := make([]*emcast.Peer, 0, len(h.peers))
 	for i, p := range h.peers {
-		s, l := p.Frames()
-		h.retiredSent += s
-		h.retiredLost += l
+		s := p.TransportStats()
+		h.retiredSent += s.FramesSent
+		h.retiredLost += s.FramesLost
+		h.retiredSndB += s.BytesSent
+		h.retiredRcvB += s.BytesReceived
 		peers = append(peers, p)
 		delete(h.peers, i)
 	}

@@ -65,6 +65,8 @@ type Transport struct {
 
 	framesSent atomic.Uint64
 	framesLost atomic.Uint64
+	bytesSent  atomic.Uint64
+	bytesRecv  atomic.Uint64
 
 	mu       sync.Mutex
 	peers    map[peer.ID]string
@@ -213,6 +215,37 @@ func (t *Transport) Counters() (sent, lost uint64) {
 	return t.framesSent.Load(), t.framesLost.Load() + purged
 }
 
+// Stats is a consistent-enough point-in-time view of transport activity.
+// Counters are cumulative; QueueDepth is the instantaneous number of
+// frames parked in user-space send queues across all live connections.
+type Stats struct {
+	FramesSent    uint64
+	FramesLost    uint64
+	BytesSent     uint64 // payload + 4-byte length prefix, per frame
+	BytesReceived uint64 // payload + 4-byte length prefix, per frame
+	QueueDepth    int
+}
+
+// Stats returns transport counters plus the current send-queue depth. It
+// is safe to call concurrently with Send and the transport's goroutines,
+// so a scrape handler can watch a live run.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	purged := uint64(t.purgedLocked())
+	depth := 0
+	for _, c := range t.conns {
+		depth += len(c.queue)
+	}
+	t.mu.Unlock()
+	return Stats{
+		FramesSent:    t.framesSent.Load(),
+		FramesLost:    t.framesLost.Load() + purged,
+		BytesSent:     t.bytesSent.Load(),
+		BytesReceived: t.bytesRecv.Load(),
+		QueueDepth:    depth,
+	}
+}
+
 // Close shuts the transport down and waits for its goroutines.
 func (t *Transport) Close() error {
 	t.mu.Lock()
@@ -280,6 +313,7 @@ func (t *Transport) readLoop(nc net.Conn) {
 		if err != nil {
 			return
 		}
+		t.bytesRecv.Add(uint64(len(frame)) + 4)
 		if f := t.cfg.Filter; f != nil && !f(from, t.cfg.Self) {
 			continue // partitioned or crashed sender: drop on the floor
 		}
@@ -315,6 +349,7 @@ func (t *Transport) writeLoop(c *conn, addr string) {
 				return
 			}
 			t.framesSent.Add(1)
+			t.bytesSent.Add(uint64(len(frame)) + 4)
 		case <-c.done:
 			return
 		}

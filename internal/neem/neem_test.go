@@ -296,3 +296,56 @@ func TestManyPeers(t *testing.T) {
 		}
 	}
 }
+
+func TestStatsConcurrentReaders(t *testing.T) {
+	a, b, inA, inB := pair(t)
+
+	// Hammer Stats from several goroutines while traffic flows in both
+	// directions — the shape of a live /metrics scrape against a running
+	// harness. Run under -race this proves the counters are safe to read
+	// mid-run.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = a.Stats()
+					_ = b.Stats()
+				}
+			}
+		}()
+	}
+
+	const n = 200
+	payload := bytes.Repeat([]byte{0xab}, 64)
+	for i := 0; i < n; i++ {
+		a.Send(2, payload)
+		b.Send(1, payload)
+	}
+	inA.wait(t, n)
+	inB.wait(t, n)
+	close(stop)
+	wg.Wait()
+
+	const frameWire = 64 + 4 // payload + length prefix
+	sa, sb := a.Stats(), b.Stats()
+	if sa.FramesSent != n || sb.FramesSent != n {
+		t.Fatalf("frames sent = %d/%d, want %d", sa.FramesSent, sb.FramesSent, n)
+	}
+	if sa.BytesSent != n*frameWire || sa.BytesReceived != n*frameWire {
+		t.Fatalf("a bytes sent/recv = %d/%d, want %d", sa.BytesSent, sa.BytesReceived, n*frameWire)
+	}
+	if sa.FramesLost != 0 || sa.QueueDepth != 0 {
+		t.Fatalf("a lost/depth = %d/%d after drain, want 0/0", sa.FramesLost, sa.QueueDepth)
+	}
+	// Stats and the legacy Counters view must agree.
+	if sent, lost := a.Counters(); sent != sa.FramesSent || lost != sa.FramesLost {
+		t.Fatalf("Counters() = %d/%d disagrees with Stats %d/%d", sent, lost, sa.FramesSent, sa.FramesLost)
+	}
+}

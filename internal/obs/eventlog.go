@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// EventLog writes structured run events as JSON lines: one object per
+// event with the event name, wall-clock offset, heap-in-use, any
+// caller-supplied fields, and — when a registry is attached — the full
+// metrics snapshot under "metrics". Keys are emitted sorted (the
+// encoding/json map order), so logs from different commits diff cleanly
+// line by line.
+//
+// A nil *EventLog is safe: Event and Close are no-ops, so engines emit
+// unconditionally and callers opt in by supplying a log.
+type EventLog struct {
+	mu    sync.Mutex
+	w     io.Writer
+	c     io.Closer
+	reg   *Registry
+	start time.Time
+	seq   int64
+}
+
+// NewEventLog returns an event log writing to w, snapshotting reg (which
+// may be nil) at every event.
+func NewEventLog(w io.Writer, reg *Registry) *EventLog {
+	return &EventLog{w: w, reg: reg, start: time.Now()}
+}
+
+// OpenEventLog creates (or truncates) a JSONL file at path.
+func OpenEventLog(path string, reg *Registry) (*EventLog, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: event log: %w", err)
+	}
+	l := NewEventLog(f, reg)
+	l.c = f
+	return l, nil
+}
+
+// Event appends one event record. fields may be nil; reserved keys
+// (event, seq, wall_ms, heap_inuse_bytes, metrics) are overwritten if
+// present. Safe on a nil receiver and safe for concurrent use.
+func (l *EventLog) Event(event string, fields map[string]interface{}) {
+	if l == nil {
+		return
+	}
+	rec := make(map[string]interface{}, len(fields)+5)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rec["event"] = event
+	rec["heap_inuse_bytes"] = ms.HeapInuse
+	if l.reg != nil {
+		rec["metrics"] = Scalars(l.reg.Snapshot())
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	rec["seq"] = l.seq
+	rec["wall_ms"] = float64(time.Since(l.start)) / float64(time.Millisecond)
+	enc, err := json.Marshal(rec)
+	if err != nil {
+		// Programming error in a fields value; surface it in-band so the
+		// log shows where the record was lost.
+		enc = []byte(fmt.Sprintf(`{"event":"obs_marshal_error","error":%q}`, err))
+	}
+	l.w.Write(append(enc, '\n'))
+}
+
+// Close flushes and closes the underlying file, when the log owns one.
+// Safe on a nil receiver.
+func (l *EventLog) Close() error {
+	if l == nil || l.c == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.c.Close()
+}

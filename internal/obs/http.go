@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Server exposes a registry over HTTP for live inspection of a running
+// cell or sweep:
+//
+//	/metrics        Prometheus text format (registry + Go runtime stats)
+//	/debug/vars     expvar JSON (cmdline, memstats, the registry snapshot)
+//	/debug/pprof/   the standard pprof index, profile, heap, trace, …
+//
+// Build one with Serve; it binds immediately (":0" picks an ephemeral
+// port, read it back with Addr) and serves until Close.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+	reg *Registry
+}
+
+// current is the registry behind the expvar "emucast" var: one process
+// serves one run, but tests start several servers, so the var reads
+// whichever registry was exposed last.
+var (
+	current    atomic.Pointer[Registry]
+	expvarOnce sync.Once
+)
+
+// Serve binds addr and serves the registry's observability endpoints in
+// a background goroutine.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	current.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("emucast", expvar.Func(func() interface{} {
+			return Scalars(current.Load().Snapshot())
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+		writeRuntimeMetrics(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "emucast observability\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}, reg: reg}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the server. Safe on a nil receiver.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// writeRuntimeMetrics appends Go runtime gauges to a /metrics response:
+// the GC and heap figures a long cell's memory behaviour is judged by.
+// ReadMemStats stops the world briefly, which is fine at scrape rates.
+func writeRuntimeMetrics(w http.ResponseWriter) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	for _, m := range []struct {
+		name, help string
+		value      float64
+	}{
+		{"go_goroutines", "Number of goroutines.", float64(runtime.NumGoroutine())},
+		{"go_memstats_heap_inuse_bytes", "Bytes in in-use heap spans.", float64(ms.HeapInuse)},
+		{"go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc)},
+		{"go_memstats_alloc_bytes_total", "Cumulative bytes allocated.", float64(ms.TotalAlloc)},
+		{"go_memstats_sys_bytes", "Bytes obtained from the OS.", float64(ms.Sys)},
+		{"go_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC)},
+		{"go_gc_pause_seconds_total", "Cumulative GC pause time.", float64(ms.PauseTotalNs) / 1e9},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+			m.name, m.help, m.name, m.name, formatValue(m.value))
+	}
+}

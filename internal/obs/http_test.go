@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim_events_total", "emulator events processed").Add(123)
+	reg.Gauge("sweep_workers_busy", "").Set(4)
+
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body := get(t, srv.URL()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, w := range []string{
+		"sim_events_total 123",
+		"sweep_workers_busy 4",
+		"# TYPE sim_events_total counter",
+		"go_memstats_heap_inuse_bytes",
+		"go_goroutines",
+	} {
+		if !strings.Contains(body, w) {
+			t.Fatalf("/metrics missing %q:\n%s", w, body)
+		}
+	}
+
+	code, body = get(t, srv.URL()+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars map[string]interface{}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Fatal("/debug/vars missing memstats")
+	}
+	emu, ok := vars["emucast"].(map[string]interface{})
+	if !ok || emu["sim_events_total"] != float64(123) {
+		t.Fatalf("/debug/vars emucast payload wrong: %v", vars["emucast"])
+	}
+
+	code, body = get(t, srv.URL()+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d body %q", code, body[:min(len(body), 200)])
+	}
+	if code, _ := get(t, srv.URL()+"/debug/pprof/heap"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/heap status %d", code)
+	}
+	if code, _ := get(t, srv.URL()+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+
+	code, body = get(t, srv.URL()+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index status %d body %q", code, body)
+	}
+	if code, _ := get(t, srv.URL()+"/nosuch"); code != http.StatusNotFound {
+		t.Fatalf("unknown path status %d, want 404", code)
+	}
+}

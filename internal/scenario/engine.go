@@ -74,6 +74,7 @@ func simConfig(spec *Spec) (sim.Config, error) {
 	cfg.Drain = spec.Drain.D()
 	cfg.FullTrace = spec.FullTrace
 	cfg.MatrixBudget = int64(spec.MatrixBudget)
+	cfg.Obs = spec.Obs
 	switch spec.Strategy {
 	case "eager":
 		cfg.Strategy, cfg.FlatP = sim.StrategyFlat, 1.0
@@ -136,6 +137,13 @@ func (e *Engine) Run() (*Report, error) {
 		return nil, fmt.Errorf("scenario: engine already ran")
 	}
 	e.ran = true
+	e.spec.EventLog.Event("run_start", map[string]interface{}{
+		"scenario": e.spec.Name,
+		"nodes":    e.spec.Nodes,
+		"strategy": e.spec.Strategy,
+		"seed":     e.spec.Seed,
+		"phases":   len(e.spec.Phases),
+	})
 	e.runner.Warmup()
 
 	bounds := make([]boundary, 0, len(e.spec.Phases)+1)
@@ -160,8 +168,23 @@ func (e *Engine) Run() (*Report, error) {
 			e.runner.RunFor(e.spec.Drain.D())
 		}
 		bounds = append(bounds, e.boundary())
+		e.spec.EventLog.Event("phase_end", map[string]interface{}{
+			"scenario":   e.spec.Name,
+			"phase":      p.Name,
+			"index":      i,
+			"virtual_ms": float64(e.runner.Network().Now()) / float64(time.Millisecond),
+			"sim_events": e.runner.Events(),
+			"live":       len(e.runner.LiveAll()),
+		})
 	}
-	return e.report(starts, bounds), nil
+	rep := e.report(starts, bounds)
+	e.runner.ReleaseObs()
+	e.spec.EventLog.Event("run_end", map[string]interface{}{
+		"scenario":   e.spec.Name,
+		"virtual_ms": float64(e.runner.Network().Now()) / float64(time.Millisecond),
+		"sim_events": e.runner.Events(),
+	})
+	return rep, nil
 }
 
 // schedulePhase installs every traffic arrival, churn event and network

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"emcast/internal/msg"
+	"emcast/internal/obs"
 )
 
 // Duration is a time.Duration that marshals as a Go duration string
@@ -162,6 +163,13 @@ type Spec struct {
 
 	// Phases run back to back; each contributes a PhaseReport.
 	Phases []Phase `json:"phases"`
+
+	// Obs, when set, receives the run's counters (see internal/obs);
+	// EventLog, when set, gets run_start / phase_end / run_end records.
+	// Runtime wiring only — never serialized, and per the obs determinism
+	// rule the report is byte-identical with or without them.
+	Obs      *obs.Registry `json:"-"`
+	EventLog *obs.EventLog `json:"-"`
 }
 
 // Phase is one timed segment of a scenario.

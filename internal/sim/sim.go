@@ -25,6 +25,7 @@ import (
 	"emcast/internal/gossip"
 	"emcast/internal/ids"
 	"emcast/internal/monitor"
+	"emcast/internal/obs"
 	"emcast/internal/peer"
 	"emcast/internal/ranking"
 	"emcast/internal/stats"
@@ -166,6 +167,14 @@ type Config struct {
 	// OnDeliver, when set, is invoked for every application-level
 	// delivery (library embedding; experiments leave it nil).
 	OnDeliver func(node peer.ID, id ids.ID, payload []byte)
+
+	// Obs, when set, receives run counters (events, frames, deliveries,
+	// matrix cache activity). The registry only observes the run — it
+	// never feeds the seeded path, so results are byte-identical with it
+	// attached or nil. Multiple runners may share one registry: counters
+	// aggregate by name, and ReleaseObs detaches a finished runner's
+	// callback instruments.
+	Obs *obs.Registry
 }
 
 // DefaultConfig is the paper's standard run: 100 nodes, 400 messages of
@@ -219,6 +228,11 @@ type Runner struct {
 	rng      *rand.Rand
 	elapsed  time.Duration
 
+	// Observability (optional, never feeds the seeded path).
+	multicasts *obs.Counter
+	deliveries *obs.Counter
+	obsFuncs   []*obs.Func
+
 	// Oracle state (§4.3 global knowledge), materialised lazily by
 	// ensureOracle: flat and TTL runs never query it, so they skip the
 	// O(n²) pair scans and sorts entirely — the setup cost that
@@ -267,9 +281,60 @@ func New(cfg Config) *Runner {
 		joinedAt: make(map[peer.ID]time.Duration),
 		rng:      rand.New(rand.NewSource(cfg.Seed ^ 0x7aff1c)),
 	}
+	r.attachObs()
 	r.buildNodes()
 	return r
 }
+
+// attachObs registers the runner's instruments on cfg.Obs (a no-op when
+// nil — every instrument method is nil-safe). Counters are shared by
+// name across runners, so concurrent sweep cells aggregate into one
+// series; the matrix callbacks are per-runner and must be detached with
+// ReleaseObs when the runner is done.
+func (r *Runner) attachObs() {
+	reg := r.cfg.Obs
+	r.net.SetInstruments(emunet.Instruments{
+		Events:          reg.Counter("sim_events_total", "emulator events processed (frame deliveries and timer fires)"),
+		FramesSent:      reg.Counter("sim_frames_sent_total", "frames submitted to the emulated network"),
+		FramesDelivered: reg.Counter("sim_frames_delivered_total", "frames delivered to protocol handlers"),
+		FramesLost:      reg.Counter("sim_frames_lost_total", "frames dropped by loss, silence or partition"),
+		BytesDelivered:  reg.Counter("sim_bytes_delivered_total", "payload bytes delivered to protocol handlers"),
+	})
+	r.multicasts = reg.Counter("sim_multicasts_total", "application multicasts initiated")
+	r.deliveries = reg.Counter("sim_deliveries_total", "application-level message deliveries")
+	if reg == nil {
+		return
+	}
+	m := r.matrix
+	r.obsFuncs = []*obs.Func{
+		reg.CounterFunc("matrix_row_hits_total", "matrix row lookups served from cache",
+			func() float64 { return float64(m.Hits()) }),
+		reg.CounterFunc("matrix_row_misses_total", "matrix row lookups that ran a Dijkstra",
+			func() float64 { return float64(m.Misses()) }),
+		reg.CounterFunc("matrix_row_evictions_total", "matrix rows evicted by the byte budget",
+			func() float64 { return float64(m.Evictions()) }),
+		reg.CounterFunc("matrix_row_recomputes_total", "eviction-forced matrix row recomputes",
+			func() float64 { return float64(m.Recomputes()) }),
+		reg.GaugeFunc("matrix_resident_bytes", "bytes of latency/hop rows currently resident",
+			func() float64 { return float64(m.ResidentBytes()) }),
+	}
+}
+
+// ReleaseObs detaches the runner's callback instruments from the
+// registry: gauge contributions drop, counter finals fold into a
+// residual so totals only grow. Call when the runner's run is complete
+// and its matrix should become collectable; safe to call twice or on a
+// runner that never had a registry.
+func (r *Runner) ReleaseObs() {
+	for _, f := range r.obsFuncs {
+		f.Release()
+	}
+	r.obsFuncs = nil
+}
+
+// Events returns the number of emulator events executed so far — the
+// denominator of the events/sec throughput figure.
+func (r *Runner) Events() uint64 { return r.net.EventsProcessed }
 
 // ensureOracle materialises the §4.3 oracle quantities (ρ, T0, ranking,
 // best set) on first use. The computation scans all node pairs twice and
@@ -424,7 +489,12 @@ func (r *Runner) buildNodes() {
 		var deliver gossip.DeliverFunc
 		if cfg.OnDeliver != nil {
 			onDeliver := cfg.OnDeliver
-			deliver = func(mid ids.ID, payload []byte) { onDeliver(id, mid, payload) }
+			deliver = func(mid ids.ID, payload []byte) {
+				r.deliveries.Inc()
+				onDeliver(id, mid, payload)
+			}
+		} else if r.deliveries != nil {
+			deliver = func(mid ids.ID, payload []byte) { r.deliveries.Inc() }
 		}
 		node := core.NewNode(nodeCfg, env, core.Options{
 			Strategy: strat,
@@ -590,6 +660,7 @@ func (r *Runner) Warmup() {
 // returns the message identifier. Use RunFor afterwards to let the
 // dissemination play out in virtual time.
 func (r *Runner) MulticastFrom(node int, payload []byte) ids.ID {
+	r.multicasts.Inc()
 	return r.nodes[node].Multicast(payload)
 }
 
@@ -720,7 +791,10 @@ func (r *Runner) Run() Result {
 		payload := make([]byte, cfg.PayloadSize)
 		r.rng.Read(payload)
 		n := r.nodes[node]
-		r.net.AfterFunc(at-r.net.Now(), func() { n.Multicast(payload) })
+		r.net.AfterFunc(at-r.net.Now(), func() {
+			r.multicasts.Inc()
+			n.Multicast(payload)
+		})
 	}
 	r.net.Run(at + cfg.Drain)
 	r.elapsed = r.net.Now()

@@ -5,7 +5,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"emcast/internal/obs"
 	"emcast/internal/scenario"
 )
 
@@ -35,6 +37,16 @@ func (s *Spec) Run() (*Matrix, error) {
 		workers = len(cells)
 	}
 
+	// Worker-pool instruments (all nil-safe when s.Obs is nil). The busy
+	// gauge against the worker count is pool utilization; the histogram
+	// spots straggler cells.
+	started := s.Obs.Counter("sweep_cells_started_total", "sweep cells started")
+	finished := s.Obs.Counter("sweep_cells_done_total", "sweep cells completed successfully")
+	cellFailed := s.Obs.Counter("sweep_cells_failed_total", "sweep cells that returned an error")
+	busy := s.Obs.Gauge("sweep_workers_busy", "workers currently running a cell")
+	s.Obs.Gauge("sweep_workers_total", "size of the sweep worker pool").Set(int64(workers))
+	cellSeconds := s.Obs.Histogram("sweep_cell_seconds", "per-cell wall-clock run time", obs.DefaultDurationBuckets)
+
 	var (
 		wg     sync.WaitGroup
 		mu     sync.Mutex
@@ -50,16 +62,42 @@ func (s *Spec) Run() (*Matrix, error) {
 				if failed.Load() {
 					continue // drain: a cell already failed
 				}
-				reports[i], errs[i] = runCell(&cells[i])
+				started.Inc()
+				busy.Add(1)
+				begin := time.Now()
+				var events uint64
+				reports[i], events, errs[i] = runCell(&cells[i], s.Obs)
+				dur := time.Since(begin)
+				busy.Add(-1)
+				cellSeconds.Observe(dur.Seconds())
 				if errs[i] != nil {
 					failed.Store(true)
+					cellFailed.Inc()
+				} else {
+					finished.Inc()
 				}
+				c := &cells[i]
+				mu.Lock()
+				done++
+				cd := CellDone{
+					Done: done, Total: len(cells),
+					Scenario: c.scenario, Strategy: c.strategy,
+					Nodes: c.nodes, Seed: c.seed,
+					Duration: dur, Events: events,
+					Failed: errs[i] != nil,
+				}
+				s.EventLog.Event("cell_complete", map[string]interface{}{
+					"done": cd.Done, "total": cd.Total,
+					"scenario": cd.Scenario, "strategy": cd.Strategy,
+					"nodes": cd.Nodes, "seed": cd.Seed,
+					"duration_ms": float64(cd.Duration) / float64(time.Millisecond),
+					"sim_events":  cd.Events,
+					"failed":      cd.Failed,
+				})
 				if s.OnCell != nil {
-					mu.Lock()
-					done++
-					s.OnCell(done, len(cells))
-					mu.Unlock()
+					s.OnCell(cd)
 				}
+				mu.Unlock()
 			}
 		}()
 	}
@@ -82,13 +120,22 @@ func (s *Spec) Run() (*Matrix, error) {
 	return s.aggregate(cells, reports), nil
 }
 
-// runCell plays one cell's scenario to completion.
-func runCell(c *cell) (*scenario.Report, error) {
-	eng, err := scenario.New(c.spec)
+// runCell plays one cell's scenario to completion, attaching the sweep's
+// registry (when present) so the cell's simulation counters aggregate with
+// every other cell's. It also returns the emulator event count — the
+// numerator of the cell's events/sec figure.
+func runCell(c *cell, reg *obs.Registry) (*scenario.Report, uint64, error) {
+	spec := c.spec
+	spec.Obs = reg
+	eng, err := scenario.New(spec)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return eng.Run()
+	rep, err := eng.Run()
+	if err != nil {
+		return nil, 0, err
+	}
+	return rep, eng.Runner().Events(), nil
 }
 
 // cellMetrics flattens a report's metrics into the named values the

@@ -26,7 +26,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
+	"emcast/internal/obs"
 	"emcast/internal/scenario"
 )
 
@@ -81,10 +83,36 @@ type Spec struct {
 	// overlay sizes. JSON accepts bytes or a size string ("64MiB").
 	MatrixBudget scenario.Bytes `json:"matrix_budget,omitempty"`
 
-	// OnCell, when set, is called after each cell completes with the
-	// number of finished cells and the total (progress reporting; may be
-	// called from worker goroutines, serialised by the runner).
-	OnCell func(done, total int) `json:"-"`
+	// OnCell, when set, is called after each cell completes with progress
+	// and per-cell cost (may be called from worker goroutines, serialised
+	// by the runner).
+	OnCell func(c CellDone) `json:"-"`
+
+	// Obs, when set, is attached to every cell's simulation — counters
+	// aggregate across cells by name — and receives the sweep's own
+	// worker-pool instruments. EventLog, when set, gets one cell_complete
+	// record per finished cell. Runtime wiring only, never serialized; the
+	// matrix is byte-identical with or without them.
+	Obs      *obs.Registry `json:"-"`
+	EventLog *obs.EventLog `json:"-"`
+}
+
+// CellDone describes one completed cell for progress callbacks.
+type CellDone struct {
+	// Done and Total are the finished-cell count and the grid size.
+	Done, Total int
+	// Scenario, Strategy, Nodes and Seed identify the cell in the grid.
+	Scenario string
+	Strategy string
+	Nodes    int
+	Seed     int64
+	// Duration is the cell's wall-clock run time and Events the number of
+	// emulator events it executed — Events/Duration is the cell's
+	// simulator throughput.
+	Duration time.Duration
+	Events   uint64
+	// Failed marks a cell that aborted the sweep.
+	Failed bool
 }
 
 // ScenarioRef names one scenario of the sweep: exactly one of Builtin,

@@ -2,10 +2,12 @@ package sweep
 
 import (
 	"bytes"
+	"io"
 	"math"
 	"strings"
 	"testing"
 
+	"emcast/internal/obs"
 	"emcast/internal/scenario"
 )
 
@@ -160,11 +162,17 @@ func TestSweepWinnersAndRendering(t *testing.T) {
 func TestSweepProgressCallback(t *testing.T) {
 	spec := tinySpec(t)
 	var calls []int
-	spec.OnCell = func(done, total int) {
-		if total != 4 {
-			t.Errorf("total = %d, want 4", total)
+	spec.OnCell = func(c CellDone) {
+		if c.Total != 4 {
+			t.Errorf("total = %d, want 4", c.Total)
 		}
-		calls = append(calls, done)
+		if c.Events == 0 || c.Duration <= 0 {
+			t.Errorf("cell cost missing: events=%d duration=%v", c.Events, c.Duration)
+		}
+		if c.Scenario == "" || c.Strategy == "" {
+			t.Errorf("cell identity missing: %+v", c)
+		}
+		calls = append(calls, c.Done)
 	}
 	if _, err := spec.Run(); err != nil {
 		t.Fatal(err)
@@ -300,7 +308,7 @@ func TestSweepAbortsOnFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	ran := 0
-	spec.OnCell = func(done, total int) { ran = done }
+	spec.OnCell = func(c CellDone) { ran = c.Done }
 	if _, err := spec.Run(); err == nil {
 		t.Fatal("invalid cells did not fail the sweep")
 	}
@@ -383,5 +391,50 @@ func TestScenarioRefShorthand(t *testing.T) {
 	}
 	if string(enc) != `"steady-poisson"` {
 		t.Fatalf("shorthand does not round-trip: %s", enc)
+	}
+}
+
+// TestMatrixByteIdenticalWithObs pins the sweep-level determinism rule:
+// a sweep with a shared registry and event log attached produces a
+// byte-identical matrix to one without. Cells share the registry
+// concurrently, so this also exercises cross-cell aggregation.
+func TestMatrixByteIdenticalWithObs(t *testing.T) {
+	run := func(attach bool) ([]byte, *obs.Registry) {
+		spec := tinySpec(t)
+		spec.Workers = 2
+		var reg *obs.Registry
+		if attach {
+			reg = obs.NewRegistry()
+			spec.Obs = reg
+			spec.EventLog = obs.NewEventLog(io.Discard, reg)
+		}
+		m, err := spec.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := m.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return enc, reg
+	}
+
+	plain, _ := run(false)
+	observed, reg := run(true)
+	if !bytes.Equal(plain, observed) {
+		t.Fatal("sweep matrix changed with obs attached")
+	}
+	if v, _ := reg.Value("sweep_cells_done_total"); v != 4 {
+		t.Fatalf("sweep_cells_done_total = %v, want 4", v)
+	}
+	if v, _ := reg.Value("sweep_workers_busy"); v != 0 {
+		t.Fatalf("sweep_workers_busy = %v after run, want 0", v)
+	}
+	// All four cells' simulations aggregated into the shared counters.
+	if v, _ := reg.Value("sim_events_total"); v <= 0 {
+		t.Fatalf("sim_events_total = %v, want > 0", v)
+	}
+	if v, ok := reg.Value("sweep_cell_seconds"); !ok || v != 4 {
+		t.Fatalf("sweep_cell_seconds count = %v (ok=%v), want 4 observations", v, ok)
 	}
 }

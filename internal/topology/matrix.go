@@ -62,6 +62,9 @@ type Matrix struct {
 	latEver    []bool // latency row computed at least once
 	hopsEver   []bool // hop row computed at least once
 	recomputes int64  // eviction-forced Dijkstra re-runs
+	hits       int64  // row lookups served from the cache
+	misses     int64  // row lookups that ran a Dijkstra
+	evictions  int64  // rows dropped by the byte budget
 }
 
 // ClientMatrix returns the lazily computed shortest-path latency (Dijkstra)
@@ -140,6 +143,31 @@ func (m *Matrix) Recomputes() int64 {
 	return m.recomputes
 }
 
+// Hits returns how many row lookups were served from the cache. Together
+// with Misses it makes cache effectiveness observable: a cold cache and a
+// thrashing one both show recomputes, but only thrashing shows a low
+// hit/miss ratio on a warm workload.
+func (m *Matrix) Hits() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits
+}
+
+// Misses returns how many row lookups had to run a Dijkstra (first-use
+// fills and eviction-forced recomputes alike).
+func (m *Matrix) Misses() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.misses
+}
+
+// Evictions returns how many cached rows the byte budget has dropped.
+func (m *Matrix) Evictions() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.evictions
+}
+
 // Rows returns the number of attach-router rows backing the client plane
 // (S in the S×S representation).
 func (m *Matrix) Rows() int { return len(m.stubNode) }
@@ -148,8 +176,10 @@ func (m *Matrix) Rows() int { return len(m.stubNode) }
 // first use (or after eviction) and marking it most recently used.
 func (m *Matrix) latRowLocked(s int) []uint32 {
 	if m.lat[s] == nil {
+		m.misses++
 		m.computeRowLocked(s, false)
 	} else {
+		m.hits++
 		m.touchLocked(s)
 	}
 	return m.lat[s]
@@ -159,8 +189,10 @@ func (m *Matrix) latRowLocked(s int) []uint32 {
 // latency row for free, since one Dijkstra yields both.
 func (m *Matrix) hopRowLocked(s int) []uint16 {
 	if m.hops[s] == nil {
+		m.misses++
 		m.computeRowLocked(s, true)
 	} else {
+		m.hits++
 		m.touchLocked(s)
 	}
 	return m.hops[s]
@@ -228,6 +260,7 @@ func (m *Matrix) evictLocked() {
 		}
 		m.lruList.Remove(e)
 		m.lruElem[s] = nil
+		m.evictions++
 	}
 }
 

@@ -257,6 +257,14 @@ func (p *Peer) Frames() (sent, lost uint64) {
 	return p.transport.Counters()
 }
 
+// TransportStats returns the full transport view: frame counters plus
+// wire bytes in each direction and the instantaneous send-queue depth.
+// Safe to call concurrently with a running peer, so a metrics scrape can
+// watch a live fleet.
+func (p *Peer) TransportStats() neem.Stats {
+	return p.transport.Stats()
+}
+
 // Multicast disseminates payload to the whole group.
 func (p *Peer) Multicast(payload []byte) MessageID {
 	return p.node.Multicast(payload)
