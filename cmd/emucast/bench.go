@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+
+	"emcast/internal/scenario"
+)
+
+// runBench implements the `emucast bench` subcommand: a fixed
+// flat-strategy workload (30s of Poisson rate-2 traffic plus drain —
+// the scaling-cell shape) run at one or more population sizes, with
+// events/sec, wall time and peak heap recorded per size. The output is
+// a machine-readable BENCH_<rev>.json so CI can archive a throughput
+// figure per revision and regressions show up as a diffable artifact
+// rather than an anecdote.
+func runBench(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("emucast bench", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		rev      = fs.String("rev", "dev", "revision label recorded in the result and default filename")
+		sizesCSV = fs.String("sizes", "1000,10000", "comma-separated population sizes to bench")
+		scale    = fs.Int("scale", 0, "topology scale-down factor (0 = auto: 2 up to 1000 nodes,\n1 — paper-size routing — above)")
+		seed     = fs.Int64("seed", 1, "scenario seed")
+		jsonPath = fs.String("json", "", "output file (default BENCH_<rev>.json)")
+		sample   = fs.Float64("trace-sample", 0, "also enable the dissemination tracer at this rate, to\nmeasure its overhead against a 0-rate run")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(errOut, "usage: emucast bench [flags]\n"+
+			"Runs the fixed scaling-cell workload (flat strategy, 30s Poisson\n"+
+			"rate-2 traffic) at each -sizes population and writes BENCH_<rev>.json\n"+
+			"with events/sec, wall seconds and peak heap per size.\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+
+	var sizes []int
+	for _, s := range splitCSV(*sizesCSV) {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad -sizes value %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return fmt.Errorf("-sizes is empty")
+	}
+
+	result := benchResult{Rev: *rev, Go: runtime.Version(), TraceSample: *sample}
+	for _, n := range sizes {
+		sc := *scale
+		if sc == 0 {
+			if n <= 1000 {
+				sc = 2
+			} else {
+				sc = 1
+			}
+		}
+		cell, err := benchCellRun(n, sc, *seed, *sample, errOut)
+		if err != nil {
+			return err
+		}
+		result.Cells = append(result.Cells, cell)
+		fmt.Fprintf(out, "bench: n=%d %s events in %.2fs, %s events/sec, peak heap %s\n",
+			n, humanCount(float64(cell.Events)), cell.WallSeconds,
+			humanCount(cell.EventsPerSec), humanBytes(cell.PeakHeapBytes))
+	}
+
+	path := *jsonPath
+	if path == "" {
+		path = "BENCH_" + *rev + ".json"
+	}
+	enc, err := json.MarshalIndent(result, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bench: wrote %s\n", path)
+	return nil
+}
+
+// benchResult is the BENCH_<rev>.json document.
+type benchResult struct {
+	Rev         string      `json:"rev"`
+	Go          string      `json:"go"`
+	TraceSample float64     `json:"trace_sample,omitempty"`
+	Cells       []benchCell `json:"cells"`
+}
+
+// benchCell is one population size's measurement.
+type benchCell struct {
+	Nodes         int     `json:"nodes"`
+	Events        uint64  `json:"events"`
+	WallSeconds   float64 `json:"wall_s"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+}
+
+// benchCellRun plays the fixed workload at one size and measures it.
+// Peak heap is sampled by a background goroutine at ~50ms resolution —
+// coarse, but enough to rank revisions; a GC between samples can hide a
+// short spike either way.
+func benchCellRun(nodes, scale int, seed int64, sample float64, errOut io.Writer) (benchCell, error) {
+	traffic := []scenario.TrafficSpec{{Kind: scenario.TrafficPoisson, Rate: 2, Senders: scenario.SendersUniform}}
+	spec := scenario.Spec{
+		Name:          "bench",
+		Seed:          seed,
+		Nodes:         nodes,
+		Strategy:      "flat",
+		TopologyScale: scale,
+		Drain:         scenario.Duration(5 * time.Second),
+		TraceSample:   sample,
+		Phases: []scenario.Phase{
+			{Name: "steady", Duration: scenario.Duration(15 * time.Second), Traffic: traffic},
+			{Name: "sustained", Duration: scenario.Duration(15 * time.Second), Traffic: traffic},
+		},
+	}
+	eng, err := scenario.New(spec)
+	if err != nil {
+		return benchCell{}, err
+	}
+
+	stop := make(chan struct{})
+	peak := make(chan uint64, 1)
+	go func() {
+		var max uint64
+		t := time.NewTicker(50 * time.Millisecond)
+		defer t.Stop()
+		for {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if ms.HeapInuse > max {
+				max = ms.HeapInuse
+			}
+			select {
+			case <-stop:
+				peak <- max
+				return
+			case <-t.C:
+			}
+		}
+	}()
+
+	fmt.Fprintf(errOut, "bench: running n=%d scale=%d...\n", nodes, scale)
+	start := time.Now()
+	if _, err := eng.Run(); err != nil {
+		close(stop)
+		<-peak
+		return benchCell{}, err
+	}
+	wall := time.Since(start)
+	close(stop)
+	peakHeap := <-peak
+
+	events := eng.Runner().Events()
+	return benchCell{
+		Nodes:         nodes,
+		Events:        events,
+		WallSeconds:   wall.Seconds(),
+		EventsPerSec:  float64(events) / wall.Seconds(),
+		PeakHeapBytes: peakHeap,
+	}, nil
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -8,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"emcast/internal/disstrace"
 	"emcast/internal/live"
 	"emcast/internal/scenario"
 )
@@ -32,6 +34,8 @@ func runLive(args []string, out, errOut io.Writer) error {
 		jsonPath  = fs.String("json", "", "write the live report JSON to this file")
 		diffPath  = fs.String("diff-json", "", "with -compare-sim: write the diff JSON to this file")
 		quiet     = fs.Bool("q", false, "suppress progress logging on stderr")
+		sample    = fs.Float64("trace-sample", 0, "sample this fraction of message ids with the dissemination\ntracer (same (seed,id) hash as the simulator)")
+		treesPath = fs.String("trees", "", "write the live sampled tree report JSON to this file\n(implies -trace-sample 0.01)")
 	)
 	var ofl obsFlags
 	ofl.register(fs)
@@ -74,6 +78,11 @@ func runLive(args []string, out, errOut io.Writer) error {
 	if *nodes > 0 {
 		spec.Nodes = *nodes
 	}
+	if *sample > 0 {
+		spec.TraceSample = *sample
+	} else if *treesPath != "" {
+		spec.TraceSample = disstrace.DefaultRate
+	}
 
 	plane, err := ofl.open(errOut)
 	if err != nil {
@@ -114,6 +123,22 @@ func runLive(args []string, out, errOut io.Writer) error {
 	rep, err := h.Run()
 	if err != nil {
 		return err
+	}
+
+	if tr := h.TreeReport(); tr != nil {
+		if !*quiet {
+			fmt.Fprintf(errOut, "disstrace: %d sampled trees, mean depth %.2f, eager %.0f%%, mean edge reuse %.0f%%\n",
+				tr.Sampled, tr.MeanDepth, tr.EagerFraction*100, tr.MeanEdgeReuse*100)
+		}
+		if *treesPath != "" {
+			enc, err := json.MarshalIndent(tr, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*treesPath, append(enc, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
 	}
 
 	if *jsonPath != "" {

@@ -34,6 +34,18 @@
 // metric by metric:
 //
 //	emucast live -spec examples/scenarios/live-smoke.json -compare-sim
+//
+// The trace subcommand runs one scenario with dissemination tracing on
+// and writes the full artifact set — per-message tree report, Chrome
+// trace-event/Perfetto timeline, Graphviz DOT — into one directory:
+//
+//	emucast trace -out trace-out steady-poisson
+//
+// The bench subcommand measures emulator throughput (events/sec, wall
+// time, peak heap) over a fixed flat-strategy workload at one or more
+// population sizes and writes a machine-readable BENCH_<rev>.json:
+//
+//	emucast bench -rev $(git rev-parse --short HEAD) -sizes 1000,10000
 package main
 
 import (
@@ -65,6 +77,12 @@ func run(args []string, out, errOut io.Writer) error {
 	if len(args) > 0 && args[0] == "live" {
 		return runLive(args[1:], out, errOut)
 	}
+	if len(args) > 0 && args[0] == "trace" {
+		return runTrace(args[1:], out, errOut)
+	}
+	if len(args) > 0 && args[0] == "bench" {
+		return runBench(args[1:], out, errOut)
+	}
 	fs := flag.NewFlagSet("emucast", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
@@ -79,7 +97,9 @@ func run(args []string, out, errOut io.Writer) error {
 			"usage: emucast [flags] {t1|fig4|fig5a|fig5b|fig5c|fig6|s1|s2|a1|a2|map|all}\n"+
 				"       emucast scenario [flags] {-f <file.json> | <builtin>}\n"+
 				"       emucast sweep [flags] [-f <sweep.json>]\n"+
-				"       emucast live [flags] {-spec <file.json> | <builtin>}\n")
+				"       emucast live [flags] {-spec <file.json> | <builtin>}\n"+
+				"       emucast trace [flags] {-f <file.json> | <builtin>}\n"+
+				"       emucast bench [flags]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {

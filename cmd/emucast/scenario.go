@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"emcast/internal/disstrace"
 	"emcast/internal/scenario"
 )
 
@@ -19,15 +20,19 @@ func runScenario(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("emucast scenario", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		file    = fs.String("f", "", "scenario JSON file (alternative to a builtin name)")
-		list    = fs.Bool("list", false, "list builtin scenarios and exit")
-		dump    = fs.Bool("dump", false, "print the scenario spec JSON instead of running it")
-		text    = fs.Bool("text", false, "print a human-readable summary instead of JSON")
-		nodes   = fs.Int("nodes", 0, "override the initial overlay size")
-		seed    = fs.Int64("seed", 0, "override the scenario seed")
-		scale   = fs.Int("scale", 0, "override the topology scale-down factor")
-		full    = fs.Bool("full-trace", false, "retain raw delivery events instead of streaming aggregates\n(identical report, O(messages × nodes) memory; for debugging)")
-		mbudget = fs.String("matrix-budget", "", "cap resident latency-plane bytes (e.g. 64MiB); evicted\nDijkstra rows recompute on demand")
+		file     = fs.String("f", "", "scenario JSON file (alternative to a builtin name)")
+		list     = fs.Bool("list", false, "list builtin scenarios and exit")
+		dump     = fs.Bool("dump", false, "print the scenario spec JSON instead of running it")
+		text     = fs.Bool("text", false, "print a human-readable summary instead of JSON")
+		nodes    = fs.Int("nodes", 0, "override the initial overlay size")
+		seed     = fs.Int64("seed", 0, "override the scenario seed")
+		scale    = fs.Int("scale", 0, "override the topology scale-down factor")
+		full     = fs.Bool("full-trace", false, "retain raw delivery events instead of streaming aggregates\n(identical report, O(messages × nodes) memory; for debugging)")
+		mbudget  = fs.String("matrix-budget", "", "cap resident latency-plane bytes (e.g. 64MiB); evicted\nDijkstra rows recompute on demand")
+		sample   = fs.Float64("trace-sample", 0, "sample this fraction of message ids with the dissemination\ntracer (deterministic per seed; report bytes are unchanged)")
+		trees    = fs.String("trees", "", "write the sampled tree report JSON to this file, or '-' to\nembed it in the report output (implies -trace-sample 0.01)")
+		timeline = fs.String("timeline", "", "write all sampled message timelines as Chrome trace-event /\nPerfetto JSON to this file (implies -trace-sample 0.01)")
+		dot      = fs.String("dot", "", "write the final sampled tree as Graphviz DOT to this file\n(implies -trace-sample 0.01)")
 	)
 	var ofl obsFlags
 	ofl.register(fs)
@@ -88,6 +93,11 @@ func runScenario(args []string, out, errOut io.Writer) error {
 		}
 		spec.MatrixBudget = b
 	}
+	if *sample > 0 {
+		spec.TraceSample = *sample
+	} else if *trees != "" || *timeline != "" || *dot != "" {
+		spec.TraceSample = disstrace.DefaultRate
+	}
 
 	if *dump {
 		enc, err := json.MarshalIndent(spec, "", "  ")
@@ -119,6 +129,9 @@ func runScenario(args []string, out, errOut io.Writer) error {
 	events := eng.Runner().Events()
 	fmt.Fprintf(errOut, "scenario: %d emulator events in %s, %s events/sec\n",
 		events, wall.Round(time.Millisecond), humanCount(float64(events)/wall.Seconds()))
+	if err := writeTreeArtifacts(eng, rep, *trees, *timeline, *dot, errOut); err != nil {
+		return err
+	}
 	if *text {
 		fmt.Fprint(out, rep.String())
 		return nil
@@ -128,5 +141,56 @@ func runScenario(args []string, out, errOut io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "%s\n", enc)
+	return nil
+}
+
+// writeTreeArtifacts emits the dissemination-trace outputs a scenario run
+// was asked for: the tree report (to a file, or embedded in rep when the
+// path is "-"), the Perfetto/Chrome timeline, and the final-tree DOT.
+func writeTreeArtifacts(eng *scenario.Engine, rep *scenario.Report, trees, timeline, dot string, errOut io.Writer) error {
+	d := eng.DissTracer()
+	if d == nil {
+		return nil
+	}
+	tr := eng.TreeReport()
+	fmt.Fprintf(errOut, "disstrace: %d sampled trees, mean depth %.2f, eager %.0f%%, mean edge reuse %.0f%%\n",
+		tr.Sampled, tr.MeanDepth, tr.EagerFraction*100, tr.MeanEdgeReuse*100)
+	if trees == "-" {
+		rep.Trees = tr
+	} else if trees != "" {
+		enc, err := json.MarshalIndent(tr, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(trees, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if timeline != "" {
+		f, err := os.Create(timeline)
+		if err != nil {
+			return err
+		}
+		if err := d.WriteTimeline(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if dot != "" && tr.Sampled > 0 {
+		f, err := os.Create(dot)
+		if err != nil {
+			return err
+		}
+		if err := d.WriteDOT(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"emcast/internal/disstrace"
 	"emcast/internal/scenario"
 	"emcast/internal/sweep"
 )
@@ -33,6 +35,8 @@ func runSweep(args []string, out, errOut io.Writer) error {
 		workers    = fs.Int("workers", 0, "concurrent cell runs (default GOMAXPROCS)")
 		full       = fs.Bool("full-trace", false, "retain raw delivery events per cell instead of streaming\naggregates (identical matrix, far more memory; for debugging)")
 		mbudget    = fs.String("matrix-budget", "", "cap each cell's resident latency-plane bytes (e.g. 64MiB);\nevicted Dijkstra rows recompute on demand")
+		sample     = fs.Float64("trace-sample", 0, "sample this fraction of each cell's message ids with the\ndissemination tracer (matrix bytes are unchanged)")
+		treesPath  = fs.String("trees", "", "write per-cell sampled tree reports as JSON to this file\n(implies -trace-sample 0.01)")
 		format     = fs.String("format", "table", "output format: table, markdown, csv or json")
 		jsonPath   = fs.String("json", "", "also write the matrix JSON to this file")
 		outPath    = fs.String("o", "", "write output to this file instead of stdout")
@@ -130,6 +134,11 @@ func runSweep(args []string, out, errOut io.Writer) error {
 		}
 		spec.MatrixBudget = b
 	}
+	if *sample > 0 {
+		spec.TraceSample = *sample
+	} else if *treesPath != "" {
+		spec.TraceSample = disstrace.DefaultRate
+	}
 	switch *format {
 	case "table", "markdown", "md", "csv", "json":
 	default:
@@ -152,8 +161,14 @@ func runSweep(args []string, out, errOut io.Writer) error {
 	start := time.Now()
 	var totalEvents uint64
 	var lastLine time.Time
+	// cellTrees collects per-cell tree reports for -trees; OnCell runs
+	// serialised by the sweep runner, so plain map writes are safe.
+	cellTrees := make(map[string]*disstrace.TreeReport)
 	spec.OnCell = func(c sweep.CellDone) {
 		totalEvents += c.Events
+		if c.Trees != nil {
+			cellTrees[fmt.Sprintf("%s/%s/n%d/seed%d", c.Scenario, c.Strategy, c.Nodes, c.Seed)] = c.Trees
+		}
 		now := time.Now()
 		if !*verbose && (*progress <= 0 || (now.Sub(lastLine) < *progress && c.Done != c.Total)) {
 			return
@@ -192,6 +207,15 @@ func runSweep(args []string, out, errOut io.Writer) error {
 		rendered = append(enc, '\n')
 	}
 
+	if *treesPath != "" {
+		enc, err := json.MarshalIndent(cellTrees, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*treesPath, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
 	if *jsonPath != "" {
 		enc, err := m.JSON()
 		if err != nil {

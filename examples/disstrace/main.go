@@ -1,0 +1,102 @@
+// Dissemination-tracing demo: run one scenario with the causal tracer
+// sampling every message, then walk the reconstructed trees — the actual
+// per-message broadcast structure the paper's §5 argues emerges from the
+// unstructured overlay.
+//
+// The demo prints three things:
+//  1. per-tree shape lines (depth, fanout, eager/lazy split, critical
+//     path) for the first few sampled messages,
+//  2. the cross-tree structure metrics — edge reuse between consecutive
+//     trees and the trailing-window link concentration — which is where
+//     a stable emergent tree shows up as numbers,
+//  3. a Graphviz DOT file and a Chrome trace-event/Perfetto timeline on
+//     disk, ready for `dot -Tsvg` or ui.perfetto.dev.
+//
+// Tracing is read-only: the scenario report is byte-identical with the
+// tracer on or off (the repo's equivalence tests pin exactly that).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"emcast/internal/scenario"
+)
+
+func main() {
+	spec, err := scenario.ParseString(`{
+		"name": "disstrace-demo",
+		"seed": 7,
+		"nodes": 80,
+		"topology_scale": 8,
+		"strategy": "ranked",
+		"drain": "5s",
+		"phases": [
+			{"name": "steady", "duration": "20s",
+			 "traffic": [{"kind": "poisson", "rate": 2, "senders": "uniform"}]}
+		]
+	}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Rate 1 samples every message; real runs use 0.01 (the default) so
+	// the tracer's memory stays proportional to the sample.
+	spec.TraceSample = 1
+
+	eng, err := scenario.New(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	rep, err := eng.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ran %q: %d messages, %.1f%% delivery, %v wall\n\n",
+		rep.Scenario, rep.Overall.MessagesSent, rep.Overall.DeliveryRate*100,
+		time.Since(start).Round(time.Millisecond))
+
+	tr := eng.TreeReport()
+
+	fmt.Println("first sampled trees (one line per message):")
+	for i, ts := range tr.Trees {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(tr.Trees)-i)
+			break
+		}
+		fmt.Printf("  %s  depth %d  root-fanout %d  max-fanout %d  eager %3.0f%%  last delivery %6.1fms over %d hops\n",
+			ts.ID[:8], ts.Depth, ts.RootFanout, ts.MaxFanout, ts.EagerFraction*100,
+			ts.LastDeliveryMS, ts.CriticalPathHops)
+	}
+
+	fmt.Println("\nemergent structure across consecutive trees:")
+	fmt.Printf("  sampled trees        %d\n", tr.Sampled)
+	fmt.Printf("  mean depth           %.2f (max %d)\n", tr.MeanDepth, tr.MaxDepth)
+	fmt.Printf("  eager fraction       %.0f%%\n", tr.EagerFraction*100)
+	fmt.Printf("  mean edge reuse      %.0f%%  (share of a tree's edges already in the previous tree)\n",
+		tr.MeanEdgeReuse*100)
+	fmt.Printf("  final top-link share %.0f%%  (trailing %d-tree window, top 5%% of links)\n",
+		tr.FinalWindowTopShare*100, tr.Window)
+
+	d := eng.DissTracer()
+	dot, err := os.Create("disstrace-tree.dot")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.WriteDOT(dot); err != nil {
+		log.Fatal(err)
+	}
+	dot.Close()
+	tl, err := os.Create("disstrace-timeline.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.WriteTimeline(tl); err != nil {
+		log.Fatal(err)
+	}
+	tl.Close()
+	fmt.Println("\nwrote disstrace-tree.dot (render: dot -Tsvg disstrace-tree.dot > tree.svg)")
+	fmt.Println("wrote disstrace-timeline.json (open in ui.perfetto.dev or chrome://tracing)")
+}

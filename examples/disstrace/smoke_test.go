@@ -1,0 +1,8 @@
+package main
+
+import "testing"
+
+// TestCompiles is a compile smoke test: building this test binary forces
+// the example to compile under `go test ./...`, so CI catches API drift
+// in example code.
+func TestCompiles(t *testing.T) {}

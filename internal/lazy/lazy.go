@@ -69,6 +69,9 @@ type Module struct {
 	strat    strategy.Strategy
 	receiver Receiver
 	tracer   trace.Tracer
+	// causal is the tracer's optional hop-graph extension, cached at
+	// construction; nil when the tracer only wants the base events.
+	causal trace.CausalTracer
 
 	received *ids.Set // R: messages whose payload has been received
 	cache    *payloadCache
@@ -104,11 +107,13 @@ func New(cfg Config, env *peer.Env, strat strategy.Strategy, tracer trace.Tracer
 	if tracer == nil {
 		tracer = trace.Nop{}
 	}
+	causal, _ := tracer.(trace.CausalTracer)
 	return &Module{
 		cfg:      cfg,
 		env:      env,
 		strat:    strat,
 		tracer:   tracer,
+		causal:   causal,
 		received: ids.NewSet(cfg.ReceivedCapacity),
 		cache:    newPayloadCache(cfg.CacheCapacity),
 		pending:  make(map[ids.ID]*pendingRequest),
@@ -137,6 +142,9 @@ func (m *Module) LSend(id ids.ID, payload []byte, round int, to peer.ID) {
 	m.cache.put(id, cached{payload: payload, round: round})
 	frame := (&msg.IHave{ID: id}).Encode(nil)
 	m.tracer.ControlSent(m.env.Self(), to, "IHAVE", len(frame))
+	if m.causal != nil {
+		m.causal.Advertised(m.env.Self(), to, id, m.env.Now())
+	}
 	m.env.Transport.Send(to, frame)
 }
 
@@ -198,6 +206,9 @@ func (m *Module) fireRequest(id ids.ID) {
 	req.tries++
 	frame := (&msg.IWant{ID: id}).Encode(nil)
 	m.tracer.ControlSent(m.env.Self(), src, "IWANT", len(frame))
+	if m.causal != nil {
+		m.causal.Requested(m.env.Self(), src, id, m.env.Now())
+	}
 	m.env.Transport.Send(src, frame)
 	req.timer = m.env.Timers.AfterFunc(m.cfg.RequestPeriod, func() { m.lockedFire(id) })
 }
@@ -217,7 +228,13 @@ func removeSource(req *pendingRequest, src peer.ID) {
 func (m *Module) OnMsg(id ids.ID, payload []byte, round int, from peer.ID) {
 	if !m.received.Add(id) {
 		m.tracer.DuplicatePayload(m.env.Self(), id)
+		if m.causal != nil {
+			m.causal.DuplicateReceived(from, m.env.Self(), id, m.env.Now())
+		}
 		return
+	}
+	if m.causal != nil {
+		m.causal.PayloadReceived(from, m.env.Self(), id, m.env.Now())
 	}
 	m.clear(id)
 	if m.receiver != nil {

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"emcast"
+	"emcast/internal/disstrace"
 	"emcast/internal/neem"
 	"emcast/internal/obs"
 	"emcast/internal/peer"
@@ -122,8 +123,14 @@ type Harness struct {
 	opts Options
 
 	tracer *trace.Streaming
-	epoch  time.Time
-	rng    *rand.Rand
+	// diss is the optional sampling dissemination tracer; nodeTracer is
+	// what peers actually get (the streaming collector, teed with diss
+	// when spec.TraceSample > 0). The metric pipeline keeps reading
+	// tracer directly.
+	diss       *disstrace.Tracer
+	nodeTracer trace.Tracer
+	epoch      time.Time
+	rng        *rand.Rand
 
 	mu          sync.Mutex
 	peers       map[int]*emcast.Peer
@@ -159,10 +166,26 @@ func New(spec scenario.Spec, opts Options) (*Harness, error) {
 		return nil, err
 	}
 	opts.fill(&spec)
+	tracer := trace.NewStreaming()
+	var diss *disstrace.Tracer
+	var nodeTracer trace.Tracer = tracer
+	if spec.TraceSample > 0 {
+		// Same seed and hash as the simulator: the sampled id *rate* is
+		// deterministic, and a sim run of the same spec samples the same
+		// fraction, making tree shapes diffable across the two planes.
+		diss = disstrace.New(disstrace.Config{
+			Rate: spec.TraceSample,
+			Seed: spec.Seed,
+			Obs:  opts.Obs,
+		})
+		nodeTracer = trace.Tee(tracer, diss)
+	}
 	return &Harness{
 		spec:       spec,
 		opts:       opts,
-		tracer:     trace.NewStreaming(),
+		tracer:     tracer,
+		diss:       diss,
+		nodeTracer: nodeTracer,
 		rng:        rand.New(rand.NewSource(spec.Seed ^ 0x11ce5ce9a5105ce9)),
 		peers:      make(map[int]*emcast.Peer),
 		addrs:      make(map[emcast.NodeID]string),
@@ -279,7 +302,7 @@ func (h *Harness) peerConfig(self int) emcast.PeerConfig {
 		Fanout:     h.opts.Fanout,
 		LinkFilter: h.allow,
 		Epoch:      h.epoch,
-		Tracer:     h.tracer,
+		Tracer:     h.nodeTracer,
 	}
 	switch h.spec.Strategy {
 	case "eager", "":
@@ -445,12 +468,32 @@ func (h *Harness) Run() (*scenario.Report, error) {
 		})
 	}
 	rep := h.report(starts, bounds, msgs)
+	if h.diss != nil {
+		// Compute the tree report while the obs registry is attached so
+		// the disstrace histograms populate (releaseObs runs deferred).
+		h.diss.Report()
+	}
 	h.opts.EventLog.Event("run_end", map[string]interface{}{
 		"scenario": h.spec.Name,
 		"wall_s":   time.Since(h.epoch).Seconds(),
 		"harness":  "live",
 	})
 	return rep, nil
+}
+
+// DissTracer exposes the sampling dissemination tracer (timeline and DOT
+// exports), or nil when the spec's trace_sample was zero.
+func (h *Harness) DissTracer() *disstrace.Tracer { return h.diss }
+
+// TreeReport returns the sampled dissemination-tree report after Run, or
+// nil when the spec's trace_sample was zero. Sampling uses the same
+// (seed, id)-hash as the simulator, so a sim run of the same spec yields
+// directly comparable tree shapes.
+func (h *Harness) TreeReport() *disstrace.TreeReport {
+	if h.diss == nil {
+		return nil
+	}
+	return h.diss.Report()
 }
 
 // playPhase schedules every traffic arrival, churn sub-event and network

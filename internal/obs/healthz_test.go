@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHealthz: the liveness probe answers 200 "ok" while the server is
+// up, the index advertises it, and after Close the port stops accepting
+// connections — the failure mode supervisors key on.
+func TestHealthz(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	code, body := get(t, srv.URL()+"/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q, want 200 ok", code, body)
+	}
+	if _, body := get(t, srv.URL()+"/"); !strings.Contains(body, "/healthz") {
+		t.Fatal("index does not list /healthz")
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A closed server must refuse new connections promptly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 100*time.Millisecond)
+		if err != nil {
+			break // refused: the listener is gone
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("port still accepting connections after Close")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerCloseLeaksNoGoroutines: the serve goroutine and any
+// connection handlers exit after Close — a run that starts and stops an
+// obs server (every CI smoke does) must not accumulate goroutines.
+// Run under -race.
+func TestServerCloseLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		srv, err := Serve("127.0.0.1:0", NewRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code, _ := get(t, srv.URL()+"/healthz"); code != http.StatusOK {
+			t.Fatalf("healthz status %d", code)
+		}
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Goroutine teardown is asynchronous; poll briefly before judging.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= before+1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d after 5 serve/close cycles", before, now)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

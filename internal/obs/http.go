@@ -15,6 +15,7 @@ import (
 // cell or sweep:
 //
 //	/metrics        Prometheus text format (registry + Go runtime stats)
+//	/healthz        liveness probe (200 "ok" while the server is up)
 //	/debug/vars     expvar JSON (cmdline, memstats, the registry snapshot)
 //	/debug/pprof/   the standard pprof index, profile, heap, trace, …
 //
@@ -54,6 +55,15 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 		reg.WritePrometheus(w)
 		writeRuntimeMetrics(w)
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// Liveness for scrape loops and supervisors: the run is up and
+		// the endpoints are being served. Always 200 while listening —
+		// Close tears the listener down, after which probes fail to
+		// connect, which is exactly the signal a watcher wants.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -65,7 +75,7 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "emucast observability\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, "emucast observability\n\n/metrics\n/healthz\n/debug/vars\n/debug/pprof/\n")
 	})
 
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux}, reg: reg}

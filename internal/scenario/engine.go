@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"emcast/internal/disstrace"
 	"emcast/internal/sim"
 	"emcast/internal/topology"
 	"emcast/internal/trace"
@@ -73,6 +74,7 @@ func simConfig(spec *Spec) (sim.Config, error) {
 	cfg.LateJoiners = spec.Joiners()
 	cfg.Drain = spec.Drain.D()
 	cfg.FullTrace = spec.FullTrace
+	cfg.TraceSample = spec.TraceSample
 	cfg.MatrixBudget = int64(spec.MatrixBudget)
 	cfg.Obs = spec.Obs
 	switch spec.Strategy {
@@ -106,6 +108,16 @@ func simConfig(spec *Spec) (sim.Config, error) {
 
 // Runner exposes the simulation under the engine (tests and tooling).
 func (e *Engine) Runner() *sim.Runner { return e.runner }
+
+// DissTracer exposes the sampling dissemination tracer (timeline and DOT
+// exports), or nil when the spec's trace_sample was zero.
+func (e *Engine) DissTracer() *disstrace.Tracer { return e.runner.DissTracer() }
+
+// TreeReport returns the sampled dissemination-tree report after Run, or
+// nil when the spec's trace_sample was zero. It is never embedded in the
+// Report the engine returns — callers opt in (Report.Trees), keeping the
+// default report bytes identical with sampling on or off.
+func (e *Engine) TreeReport() *disstrace.TreeReport { return e.runner.TreeReport() }
 
 // boundary captures the cumulative state at a phase edge, so per-phase
 // interval counters fall out as diffs of adjacent boundaries. It holds a
@@ -178,6 +190,12 @@ func (e *Engine) Run() (*Report, error) {
 		})
 	}
 	rep := e.report(starts, bounds)
+	if d := e.runner.DissTracer(); d != nil {
+		// Compute the tree report while the obs registry is still
+		// attached, so the disstrace histograms populate even when the
+		// caller never asks for the trees.
+		d.Report()
+	}
 	e.runner.ReleaseObs()
 	e.spec.EventLog.Event("run_end", map[string]interface{}{
 		"scenario":   e.spec.Name,

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"emcast/internal/disstrace"
 	"emcast/internal/sim"
 	"emcast/internal/trace"
 )
@@ -87,6 +88,11 @@ type Report struct {
 	Elapsed  Duration      `json:"elapsed"`
 	Overall  Metrics       `json:"overall"`
 	Phases   []PhaseReport `json:"phases"`
+	// Trees is the sampled dissemination-tree report. The engine never
+	// sets it — callers opt in by assigning Engine.TreeReport() after
+	// Run, so default report bytes are identical with sampling on or
+	// off (goldens and the byte-identity tests depend on that).
+	Trees *disstrace.TreeReport `json:"trees,omitempty"`
 }
 
 // JSON renders the report as indented JSON.

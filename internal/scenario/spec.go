@@ -160,6 +160,13 @@ type Spec struct {
 	// on demand, so huge cells run in O(budget) matrix memory. JSON
 	// accepts bytes or a size string ("64MiB"). 0 = retain every row.
 	MatrixBudget Bytes `json:"matrix_budget,omitempty"`
+	// TraceSample, when positive, samples this fraction of message ids
+	// with the dissemination tracer (internal/disstrace), which
+	// reconstructs their full hop graphs. Strictly observational: the
+	// report is byte-identical with sampling on or off, and the sampled
+	// set is a deterministic function of (seed, id). The tree report is
+	// exposed via Engine.TreeReport, never embedded by default.
+	TraceSample float64 `json:"trace_sample,omitempty"`
 
 	// Phases run back to back; each contributes a PhaseReport.
 	Phases []Phase `json:"phases"`
@@ -413,6 +420,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.MatrixBudget < 0 {
 		return fmt.Errorf("scenario: matrix_budget %d must be non-negative", s.MatrixBudget)
+	}
+	if s.TraceSample < 0 || s.TraceSample > 1 {
+		return fmt.Errorf("scenario: trace_sample %v outside [0, 1]", s.TraceSample)
 	}
 	if len(s.Phases) == 0 {
 		return fmt.Errorf("scenario: no phases")

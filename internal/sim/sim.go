@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"emcast/internal/core"
+	"emcast/internal/disstrace"
 	"emcast/internal/emunet"
 	"emcast/internal/gossip"
 	"emcast/internal/ids"
@@ -161,6 +162,13 @@ type Config struct {
 	// records alive for the whole run and makes FullSnapshot available;
 	// use it for raw-event analysis and debugging, not for large runs.
 	FullTrace bool
+	// TraceSample, when positive, attaches a dissemination tracer
+	// (internal/disstrace) that records the full hop graph of a
+	// deterministic sample of message ids at this rate. The tracer rides
+	// a trace.Tee beside the primary collector and never feeds the
+	// seeded path: reports are byte-identical with sampling on or off,
+	// and the sampled set is a pure function of (Seed, id).
+	TraceSample float64
 	// Drain is how long to keep the simulation running after the last
 	// multicast so in-flight lazy requests settle. Zero means 10 s.
 	Drain time.Duration
@@ -217,16 +225,22 @@ func (c *Config) fill() {
 
 // Runner is an assembled simulation ready to execute.
 type Runner struct {
-	cfg      Config
-	topo     *topology.Network
-	matrix   *topology.Matrix
-	net      *emunet.Network
-	nodes    []*core.Node
-	tracer   trace.Reader
-	failed   map[peer.ID]bool
-	joinedAt map[peer.ID]time.Duration
-	rng      *rand.Rand
-	elapsed  time.Duration
+	cfg    Config
+	topo   *topology.Network
+	matrix *topology.Matrix
+	net    *emunet.Network
+	nodes  []*core.Node
+	tracer trace.Reader
+	// diss is the optional sampling dissemination tracer; nodeTracer is
+	// what nodes actually see (the primary collector, teed with diss
+	// when sampling is on). The metric pipeline keeps querying tracer
+	// directly — recovery marking type-asserts its concrete type.
+	diss       *disstrace.Tracer
+	nodeTracer trace.Tracer
+	failed     map[peer.ID]bool
+	joinedAt   map[peer.ID]time.Duration
+	rng        *rand.Rand
+	elapsed    time.Duration
 
 	// Observability (optional, never feeds the seeded path).
 	multicasts *obs.Counter
@@ -272,14 +286,23 @@ func New(cfg Config) *Runner {
 		tracer = trace.NewCollector()
 	}
 	r := &Runner{
-		cfg:      cfg,
-		topo:     topo,
-		matrix:   matrix,
-		net:      net,
-		tracer:   tracer,
-		failed:   make(map[peer.ID]bool),
-		joinedAt: make(map[peer.ID]time.Duration),
-		rng:      rand.New(rand.NewSource(cfg.Seed ^ 0x7aff1c)),
+		cfg:        cfg,
+		topo:       topo,
+		matrix:     matrix,
+		net:        net,
+		tracer:     tracer,
+		nodeTracer: tracer,
+		failed:     make(map[peer.ID]bool),
+		joinedAt:   make(map[peer.ID]time.Duration),
+		rng:        rand.New(rand.NewSource(cfg.Seed ^ 0x7aff1c)),
+	}
+	if cfg.TraceSample > 0 {
+		r.diss = disstrace.New(disstrace.Config{
+			Rate: cfg.TraceSample,
+			Seed: cfg.Seed,
+			Obs:  cfg.Obs,
+		})
+		r.nodeTracer = trace.Tee(tracer, r.diss)
 	}
 	r.attachObs()
 	r.buildNodes()
@@ -499,7 +522,7 @@ func (r *Runner) buildNodes() {
 		node := core.NewNode(nodeCfg, env, core.Options{
 			Strategy: strat,
 			Deliver:  deliver,
-			Tracer:   r.tracer,
+			Tracer:   r.nodeTracer,
 			EWMA:     ewma,
 			Ranking:  table,
 		})
@@ -689,6 +712,19 @@ func (r *Runner) Checkpoint() trace.Checkpoint {
 // aggregates as a read-only view; they share state with the collector.
 func (r *Runner) MessageStats() []trace.MsgStats {
 	return r.tracer.MessageStats()
+}
+
+// DissTracer exposes the sampling dissemination tracer, or nil when
+// Config.TraceSample was zero.
+func (r *Runner) DissTracer() *disstrace.Tracer { return r.diss }
+
+// TreeReport computes (and caches) the sampled dissemination-tree
+// report, or nil when tracing was off. Call after the run has drained.
+func (r *Runner) TreeReport() *disstrace.TreeReport {
+	if r.diss == nil {
+		return nil
+	}
+	return r.diss.Report()
 }
 
 // FullSnapshot exposes the raw event trace of a Config.FullTrace run

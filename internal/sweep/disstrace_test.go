@@ -1,0 +1,95 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"emcast/internal/disstrace"
+)
+
+// collectTrees runs a tiny sweep with sampling at the given worker count
+// and returns (matrix JSON, per-cell tree reports keyed by cell).
+func collectTrees(t *testing.T, workers int, rate float64) ([]byte, map[string]*disstrace.TreeReport) {
+	t.Helper()
+	spec := tinySpec(t)
+	spec.Workers = workers
+	spec.TraceSample = rate
+	trees := make(map[string]*disstrace.TreeReport)
+	spec.OnCell = func(c CellDone) {
+		if c.Trees != nil {
+			trees[fmt.Sprintf("%s/%s/n%d/seed%d", c.Scenario, c.Strategy, c.Nodes, c.Seed)] = c.Trees
+		}
+	}
+	m, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := m.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc, trees
+}
+
+// TestMatrixByteIdenticalWithTraceSample: sampling must not perturb the
+// comparison matrix by a single byte, at any rate.
+func TestMatrixByteIdenticalWithTraceSample(t *testing.T) {
+	off, noTrees := collectTrees(t, 2, 0)
+	on, trees := collectTrees(t, 2, 1)
+	if !bytes.Equal(off, on) {
+		t.Fatal("sweep matrix changed with sampling on")
+	}
+	if len(noTrees) != 0 {
+		t.Fatalf("rate 0 produced %d tree reports, want 0", len(noTrees))
+	}
+	// tinySpec is 2 strategies x 1 scenario x 2 replicates = 4 cells.
+	if len(trees) != 4 {
+		t.Fatalf("tree reports for %d cells, want 4", len(trees))
+	}
+	for k, tr := range trees {
+		if tr.Sampled == 0 {
+			t.Fatalf("cell %s sampled no trees at rate 1", k)
+		}
+	}
+}
+
+// TestTreesDeterministicAcrossWorkers: the sampled-tree reports are a
+// pure function of each cell's (spec, seed) — identical whether cells
+// run serially or race across a worker pool. Run under -race: this also
+// exercises the tracer inside the parallel pool.
+func TestTreesDeterministicAcrossWorkers(t *testing.T) {
+	_, serial := collectTrees(t, 1, 1)
+	_, pooled := collectTrees(t, 4, 1)
+	if len(serial) == 0 || len(pooled) == 0 {
+		t.Fatal("no tree reports collected")
+	}
+	if !reflect.DeepEqual(keys(serial), keys(pooled)) {
+		t.Fatalf("cell sets differ: %v vs %v", keys(serial), keys(pooled))
+	}
+	for k := range serial {
+		a, err := json.Marshal(serial[k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(pooled[k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("cell %s tree report differs across worker counts:\n1 worker:  %s\n4 workers: %s", k, a, b)
+		}
+	}
+}
+
+func keys(m map[string]*disstrace.TreeReport) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"emcast/internal/disstrace"
 	"emcast/internal/obs"
 	"emcast/internal/scenario"
 )
@@ -66,7 +67,8 @@ func (s *Spec) Run() (*Matrix, error) {
 				busy.Add(1)
 				begin := time.Now()
 				var events uint64
-				reports[i], events, errs[i] = runCell(&cells[i], s.Obs)
+				var trees *disstrace.TreeReport
+				reports[i], events, trees, errs[i] = runCell(&cells[i], s.Obs)
 				dur := time.Since(begin)
 				busy.Add(-1)
 				cellSeconds.Observe(dur.Seconds())
@@ -85,6 +87,7 @@ func (s *Spec) Run() (*Matrix, error) {
 					Nodes: c.nodes, Seed: c.seed,
 					Duration: dur, Events: events,
 					Failed: errs[i] != nil,
+					Trees:  trees,
 				}
 				s.EventLog.Event("cell_complete", map[string]interface{}{
 					"done": cd.Done, "total": cd.Total,
@@ -124,18 +127,18 @@ func (s *Spec) Run() (*Matrix, error) {
 // registry (when present) so the cell's simulation counters aggregate with
 // every other cell's. It also returns the emulator event count — the
 // numerator of the cell's events/sec figure.
-func runCell(c *cell, reg *obs.Registry) (*scenario.Report, uint64, error) {
+func runCell(c *cell, reg *obs.Registry) (*scenario.Report, uint64, *disstrace.TreeReport, error) {
 	spec := c.spec
 	spec.Obs = reg
 	eng, err := scenario.New(spec)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	rep, err := eng.Run()
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
-	return rep, eng.Runner().Events(), nil
+	return rep, eng.Runner().Events(), eng.TreeReport(), nil
 }
 
 // cellMetrics flattens a report's metrics into the named values the

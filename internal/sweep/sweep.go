@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"emcast/internal/disstrace"
 	"emcast/internal/obs"
 	"emcast/internal/scenario"
 )
@@ -82,6 +83,13 @@ type Spec struct {
 	// recompute on demand, bounding per-cell matrix memory at huge
 	// overlay sizes. JSON accepts bytes or a size string ("64MiB").
 	MatrixBudget scenario.Bytes `json:"matrix_budget,omitempty"`
+	// TraceSample, when positive, samples this fraction of each cell's
+	// message ids with the dissemination tracer. The matrix is
+	// byte-identical with sampling on or off; per-cell tree reports
+	// surface through CellDone.Trees, never in the matrix, and the
+	// sampled set is deterministic at any worker count (it is a pure
+	// function of the cell seed and the id bytes).
+	TraceSample float64 `json:"trace_sample,omitempty"`
 
 	// OnCell, when set, is called after each cell completes with progress
 	// and per-cell cost (may be called from worker goroutines, serialised
@@ -113,6 +121,10 @@ type CellDone struct {
 	Events   uint64
 	// Failed marks a cell that aborted the sweep.
 	Failed bool
+	// Trees is the cell's sampled dissemination-tree report when
+	// Spec.TraceSample is positive; nil otherwise. It never enters the
+	// matrix — the matrix stays byte-identical with sampling on or off.
+	Trees *disstrace.TreeReport
 }
 
 // ScenarioRef names one scenario of the sweep: exactly one of Builtin,
@@ -190,6 +202,9 @@ func (s *Spec) Resolve(baseDir string) error {
 	}
 	if s.MatrixBudget < 0 {
 		return fmt.Errorf("sweep: matrix_budget %d must be non-negative", s.MatrixBudget)
+	}
+	if s.TraceSample < 0 || s.TraceSample > 1 {
+		return fmt.Errorf("sweep: trace_sample %v outside [0, 1]", s.TraceSample)
 	}
 	for _, st := range s.Strategies {
 		if !knownStrategies[st] {
@@ -309,6 +324,9 @@ func (s *Spec) cells() []cell {
 					}
 					if s.MatrixBudget > 0 {
 						sc.MatrixBudget = s.MatrixBudget
+					}
+					if s.TraceSample > 0 {
+						sc.TraceSample = s.TraceSample
 					}
 					out = append(out, cell{
 						scenario: base.Name,

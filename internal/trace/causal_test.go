@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"emcast/internal/ids"
+	"emcast/internal/peer"
+)
+
+// recorder counts every hook invocation; causalRecorder additionally
+// implements CausalTracer.
+type recorder struct {
+	multicast, delivered, payloadSent, controlSent, duplicate, miss int
+}
+
+func (r *recorder) Multicast(peer.ID, ids.ID, time.Duration)        { r.multicast++ }
+func (r *recorder) Delivered(peer.ID, ids.ID, time.Duration)        { r.delivered++ }
+func (r *recorder) PayloadSent(peer.ID, peer.ID, ids.ID, int, bool) { r.payloadSent++ }
+func (r *recorder) ControlSent(peer.ID, peer.ID, string, int)       { r.controlSent++ }
+func (r *recorder) DuplicatePayload(peer.ID, ids.ID)                { r.duplicate++ }
+func (r *recorder) RequestMiss(peer.ID, ids.ID)                     { r.miss++ }
+
+type causalRecorder struct {
+	recorder
+	advertised, requested, received, dupReceived int
+}
+
+func (r *causalRecorder) Advertised(peer.ID, peer.ID, ids.ID, time.Duration)        { r.advertised++ }
+func (r *causalRecorder) Requested(peer.ID, peer.ID, ids.ID, time.Duration)         { r.requested++ }
+func (r *causalRecorder) PayloadReceived(peer.ID, peer.ID, ids.ID, time.Duration)   { r.received++ }
+func (r *causalRecorder) DuplicateReceived(peer.ID, peer.ID, ids.ID, time.Duration) { r.dupReceived++ }
+
+// TestTeeFansOut: base events reach every member; causal events reach
+// only the members implementing CausalTracer.
+func TestTeeFansOut(t *testing.T) {
+	plain := &recorder{}
+	causal := &causalRecorder{}
+	combined := Tee(plain, nil, causal)
+
+	id := ids.NewGenerator(1).Next()
+	combined.Multicast(0, id, time.Millisecond)
+	combined.Delivered(1, id, 2*time.Millisecond)
+	combined.PayloadSent(0, 1, id, 64, true)
+	combined.ControlSent(1, 0, "ihave", 24)
+	combined.DuplicatePayload(1, id)
+	combined.RequestMiss(1, id)
+
+	for _, r := range []*recorder{plain, &causal.recorder} {
+		if r.multicast != 1 || r.delivered != 1 || r.payloadSent != 1 ||
+			r.controlSent != 1 || r.duplicate != 1 || r.miss != 1 {
+			t.Fatalf("base events not fanned out to every member: %+v", r)
+		}
+	}
+
+	ct, ok := combined.(CausalTracer)
+	if !ok {
+		t.Fatal("tee of a causal member does not implement CausalTracer")
+	}
+	ct.Advertised(0, 1, id, time.Millisecond)
+	ct.Requested(1, 0, id, time.Millisecond)
+	ct.PayloadReceived(0, 1, id, time.Millisecond)
+	ct.DuplicateReceived(0, 1, id, time.Millisecond)
+	if causal.advertised != 1 || causal.requested != 1 || causal.received != 1 || causal.dupReceived != 1 {
+		t.Fatalf("causal events not forwarded: %+v", causal)
+	}
+}
+
+// TestTeeCollapses: nils are dropped, a single member is returned
+// unwrapped (so type assertions on the member keep working through the
+// tee), and an empty tee is a Nop.
+func TestTeeCollapses(t *testing.T) {
+	s := NewStreaming()
+	if got := Tee(nil, s, nil); got != Tracer(s) {
+		t.Fatalf("single-member tee = %T, want the member itself", got)
+	}
+	if _, ok := Tee(nil, nil).(Nop); !ok {
+		t.Fatal("empty tee is not a Nop")
+	}
+}
+
+// TestStreamingLazyPathCounters pins the checkpoint deltas for the lazy
+// recovery event kinds — the counters the scenario reports diff across
+// phase boundaries.
+func TestStreamingLazyPathCounters(t *testing.T) {
+	s := NewStreaming()
+	id := ids.NewGenerator(2).Next()
+	s.Multicast(0, id, time.Millisecond)
+	before := s.Checkpoint()
+
+	s.PayloadSent(0, 1, id, 128, false) // lazy retransmission
+	s.ControlSent(0, 1, "ihave", 24)
+	s.ControlSent(1, 0, "iwant", 20)
+	s.DuplicatePayload(1, id)
+	s.RequestMiss(1, id)
+	after := s.Checkpoint()
+
+	if d := after.LazyPayloads - before.LazyPayloads; d != 1 {
+		t.Fatalf("lazy payload delta = %d, want 1", d)
+	}
+	if d := after.EagerPayloads - before.EagerPayloads; d != 0 {
+		t.Fatalf("eager payload delta = %d, want 0", d)
+	}
+	if d := after.ControlFrames - before.ControlFrames; d != 2 {
+		t.Fatalf("control frame delta = %d, want 2", d)
+	}
+	if d := after.ControlBytes - before.ControlBytes; d != 44 {
+		t.Fatalf("control byte delta = %d, want 44", d)
+	}
+	if d := after.Duplicates - before.Duplicates; d != 1 {
+		t.Fatalf("duplicate delta = %d, want 1", d)
+	}
+	if d := after.RequestMisses - before.RequestMisses; d != 1 {
+		t.Fatalf("request-miss delta = %d, want 1", d)
+	}
+	// The lazy payload crossed 0–1: the link load must show it.
+	if l := after.Links[MakeLink(0, 1)]; l.Payloads != 1 || l.Bytes != 128 {
+		t.Fatalf("link load = %+v, want 1 payload / 128 bytes", l)
+	}
+}
