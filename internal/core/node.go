@@ -18,6 +18,7 @@ import (
 	"emcast/internal/membership"
 	"emcast/internal/monitor"
 	"emcast/internal/msg"
+	"emcast/internal/obs"
 	"emcast/internal/peer"
 	"emcast/internal/ranking"
 	"emcast/internal/strategy"
@@ -356,6 +357,34 @@ func (n *Node) refreshOwnScore() {
 
 // Ranking exposes the node's ranking table (nil when disabled).
 func (n *Node) Ranking() *ranking.Table { return n.ranking }
+
+// Per-entry size estimates for the node's own Footprint share: an
+// outstanding ping probe (nonce key + to/at value) and a shuffle-sent map
+// entry's fixed part (peer key + slice header value).
+const (
+	pingProbeEntry   = 8 + 16 + obs.MapEntryOverhead
+	shuffleSentEntry = 4 + 24 + obs.MapEntryOverhead
+)
+
+// Footprints reports the node's per-subsystem retained bytes: the
+// membership partial view, the gossip known-set, the lazy module's dedup
+// set / payload cache / pending requests, and the node's own probe and
+// shuffle bookkeeping under "core". Taken under the node lock so the walk
+// sees a consistent state; it only reads.
+func (n *Node) Footprints() []obs.Footprint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	coreBytes := int64(len(n.pingSent)) * pingProbeEntry
+	for _, sample := range n.shuffleSent {
+		coreBytes += shuffleSentEntry + int64(cap(sample))*4
+	}
+	return []obs.Footprint{
+		n.view.Footprint(),
+		n.gossip.Footprint(),
+		n.lazy.Footprint(),
+		{Subsystem: "core", Bytes: coreBytes, Items: int64(len(n.pingSent) + len(n.shuffleSent))},
+	}
+}
 
 // jittered spreads periodic tasks by ±25% so nodes do not synchronise.
 func (n *Node) jittered(d time.Duration) time.Duration {

@@ -1,0 +1,173 @@
+package emunet
+
+import (
+	"testing"
+	"time"
+
+	"emcast/internal/obs"
+)
+
+// breakdownInstruments wires every hot-loop instrument onto a fresh
+// registry with the class labels the sim layer uses.
+func breakdownInstruments(reg *obs.Registry) Instruments {
+	deliver := obs.Label{Key: "class", Value: "deliver"}
+	timer := obs.Label{Key: "class", Value: "timer"}
+	return Instruments{
+		Events:                reg.Counter("sim_events_total", ""),
+		DeliverEvents:         reg.Counter("sim_events_class_total", "", deliver),
+		TimerEvents:           reg.Counter("sim_events_class_total", "", timer),
+		BandwidthQueuedFrames: reg.Counter("sim_frames_bandwidth_queued_total", ""),
+		DeliverNanos:          reg.Counter("sim_event_sampled_ns_total", "", deliver),
+		TimerNanos:            reg.Counter("sim_event_sampled_ns_total", "", timer),
+		SampledEvents:         reg.Counter("sim_events_sampled_total", ""),
+		QueueDepth:            reg.Gauge("sim_event_queue_depth", ""),
+		QueueDepthHist:        reg.Histogram("sim_event_queue_depth_hist", "", []float64{1, 4, 16, 64}),
+		BatchSize:             reg.Histogram("sim_tick_batch_size", "", []float64{1, 2, 4, 8}),
+		SampleStride:          1, // sample every event so the test is exact
+	}
+}
+
+// TestEventClassBreakdown pins the hot-loop accounting: deliver and timer
+// class counts must sum to the total event count, mirror the plain
+// counters, and populate the batch-size histogram.
+func TestEventClassBreakdown(t *testing.T) {
+	n := New(3, constLatency(5*time.Millisecond), Config{})
+	reg := obs.NewRegistry()
+	n.SetInstruments(breakdownInstruments(reg))
+	rec := &recorder{net: n}
+	n.Register(1, rec)
+	n.Register(2, rec)
+
+	for i := 0; i < 7; i++ {
+		n.Send(0, 1, []byte{byte(i)})
+		n.Send(0, 2, []byte{byte(i)})
+	}
+	fired := 0
+	for i := 0; i < 3; i++ {
+		n.AfterFunc(time.Duration(i+1)*time.Millisecond, func() { fired++ })
+	}
+	n.RunUntilIdle(0)
+
+	if fired != 3 {
+		t.Fatalf("fired %d timers, want 3", fired)
+	}
+	total := n.EventsProcessed
+	if total != 14+3 {
+		t.Fatalf("EventsProcessed = %d, want 17", total)
+	}
+	if n.TimerFires != 3 {
+		t.Fatalf("TimerFires = %d, want 3", n.TimerFires)
+	}
+	deliver, _ := reg.Value("sim_events_class_total", obs.Label{Key: "class", Value: "deliver"})
+	timer, _ := reg.Value("sim_events_class_total", obs.Label{Key: "class", Value: "timer"})
+	if uint64(deliver) != 14 || uint64(timer) != 3 {
+		t.Fatalf("class counts deliver=%v timer=%v, want 14/3", deliver, timer)
+	}
+	if uint64(deliver+timer) != total {
+		t.Fatalf("class counts sum %v != events %d", deliver+timer, total)
+	}
+	// Stride 1: every event is sampled and timed.
+	if v, _ := reg.Value("sim_events_sampled_total"); uint64(v) != total {
+		t.Fatalf("sampled events = %v, want %d", v, total)
+	}
+	// All 14 deliveries land on one instant (same latency, sent at t=0)
+	// and each timer on its own — the batch histogram must have recorded
+	// one observation per distinct virtual instant: 3 timer ticks plus
+	// the one deliver batch flushed when the queue drains.
+	if v, _ := reg.Value("sim_tick_batch_size"); v != 4 {
+		t.Fatalf("batch-size observations = %v, want 4", v)
+	}
+	if v, _ := reg.Value("sim_event_queue_depth_hist"); uint64(v) != total {
+		t.Fatalf("queue-depth observations = %v, want %d", v, total)
+	}
+}
+
+// TestBandwidthQueuedCounter pins the bandwidth-queue drain accounting:
+// frames serialized behind a busy link bump BandwidthQueued.
+func TestBandwidthQueuedCounter(t *testing.T) {
+	// 1000 B/s: a 100-byte frame holds the link for 100ms.
+	n := New(2, constLatency(time.Millisecond), Config{Bandwidth: 1000})
+	rec := &recorder{net: n}
+	n.Register(1, rec)
+	for i := 0; i < 4; i++ {
+		n.Send(0, 1, make([]byte, 100))
+	}
+	n.RunUntilIdle(0)
+	if len(rec.frames) != 4 {
+		t.Fatalf("delivered %d, want 4", len(rec.frames))
+	}
+	// The first frame departs immediately; the other three queued.
+	if n.BandwidthQueued != 3 {
+		t.Fatalf("BandwidthQueued = %d, want 3", n.BandwidthQueued)
+	}
+}
+
+// TestBreakdownDoesNotPerturbRun pins the determinism rule at the emunet
+// layer: the same workload with instruments attached (stride sampling and
+// all) delivers the same frames at the same virtual instants.
+func TestBreakdownDoesNotPerturbRun(t *testing.T) {
+	run := func(withIns bool) []recorded {
+		n := New(4, constLatency(3*time.Millisecond), Config{Loss: 0.2, Seed: 42})
+		if withIns {
+			ins := breakdownInstruments(obs.NewRegistry())
+			ins.SampleStride = 2
+			n.SetInstruments(ins)
+		}
+		rec := &recorder{net: n}
+		for i := 1; i < 4; i++ {
+			n.Register(i, rec)
+		}
+		for i := 0; i < 50; i++ {
+			n.Send(0, 1+i%3, []byte{byte(i)})
+		}
+		n.RunUntilIdle(0)
+		return rec.frames
+	}
+	plain, observed := run(false), run(true)
+	if len(plain) != len(observed) {
+		t.Fatalf("frame counts differ: %d vs %d", len(plain), len(observed))
+	}
+	for i := range plain {
+		if plain[i].at != observed[i].at || plain[i].frame[0] != observed[i].frame[0] {
+			t.Fatalf("frame %d differs: %+v vs %+v", i, plain[i], observed[i])
+		}
+	}
+}
+
+// TestNetworkFootprint pins the emulator's byte report on a hand-built
+// queue: pending deliver frames charge their payload bytes and the heap
+// capacity, and draining the queue returns the payload charge to zero.
+func TestNetworkFootprint(t *testing.T) {
+	n := New(2, constLatency(time.Millisecond), Config{})
+	rec := &recorder{net: n}
+	n.Register(1, rec)
+
+	n.Send(0, 1, make([]byte, 30))
+	n.Send(0, 1, make([]byte, 70))
+	fp := n.Footprint()
+	if fp.Subsystem != "emunet" {
+		t.Fatalf("subsystem = %q", fp.Subsystem)
+	}
+	if fp.Items != 2 {
+		t.Fatalf("items = %d, want 2 queued events", fp.Items)
+	}
+	want := int64(cap(n.events))*eventStructBytes + 100 +
+		int64(len(n.handlers))*(16+1+8)
+	if fp.Bytes != want {
+		t.Fatalf("bytes = %d, want %d", fp.Bytes, want)
+	}
+	if n.QueuedFrames() != 2 {
+		t.Fatalf("QueuedFrames = %d, want 2", n.QueuedFrames())
+	}
+
+	n.RunUntilIdle(0)
+	fp = n.Footprint()
+	if fp.Items != 0 || n.QueuedFrames() != 0 {
+		t.Fatalf("after drain: items=%d queued=%d, want 0/0", fp.Items, n.QueuedFrames())
+	}
+	// Payload charge gone; only heap capacity and fixed slices remain.
+	want = int64(cap(n.events))*eventStructBytes + int64(len(n.handlers))*(16+1+8)
+	if fp.Bytes != want {
+		t.Fatalf("after drain: bytes = %d, want %d", fp.Bytes, want)
+	}
+}

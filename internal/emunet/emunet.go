@@ -73,15 +73,33 @@ type Network struct {
 
 	// Counters for run statistics (paper §5.4). EventsProcessed counts
 	// every executed event (frame deliveries and timer fires) — the raw
-	// events/sec denominator for simulator throughput.
+	// events/sec denominator for simulator throughput. TimerFires is the
+	// timer-callback share of it (deliver events = EventsProcessed -
+	// TimerFires), and BandwidthQueued counts frames whose departure was
+	// pushed back by link serialisation — the hot-loop breakdown that
+	// turns "Step is 91% of CPU" into per-class buckets.
 	FramesSent      uint64
 	FramesDelivered uint64
 	FramesLost      uint64
 	BytesDelivered  uint64
 	EventsProcessed uint64
+	TimerFires      uint64
+	BandwidthQueued uint64
 
-	// ins mirrors the counters above into an obs registry, when attached.
-	ins Instruments
+	// Frame-queue accounting for Footprint, maintained on push/pop so the
+	// walk never scans the heap.
+	queuedFrames     int64
+	queuedFrameBytes int64
+
+	// Per-tick batch tracking: events executed at the current virtual
+	// instant, observed into the batch-size histogram when time advances.
+	batch int64
+
+	// ins mirrors the counters above into an obs registry, when attached;
+	// timed and stride gate the sampled wall-clock timing path.
+	ins    Instruments
+	timed  bool
+	stride uint64
 }
 
 // Instruments are optional observability counters the emulator bumps as
@@ -96,11 +114,51 @@ type Instruments struct {
 	FramesDelivered *obs.Counter
 	FramesLost      *obs.Counter
 	BytesDelivered  *obs.Counter
+
+	// Hot-loop breakdown. DeliverEvents/TimerEvents split EventsProcessed
+	// by class; BandwidthQueuedFrames counts sends delayed behind a busy
+	// link. DeliverNanos/TimerNanos accumulate *sampled* wall-clock
+	// handler time: every SampleStride-th event (deterministic stride, so
+	// the seeded path is untouched and the sample set is reproducible) is
+	// timed with the wall clock and its nanoseconds attributed to its
+	// class; SampledEvents counts the samples, so ns-per-event and the
+	// class share of hot-loop time fall out by division.
+	DeliverEvents         *obs.Counter
+	TimerEvents           *obs.Counter
+	BandwidthQueuedFrames *obs.Counter
+	DeliverNanos          *obs.Counter
+	TimerNanos            *obs.Counter
+	SampledEvents         *obs.Counter
+
+	// QueueDepth (gauge + histogram, observed at the sampling stride) and
+	// BatchSize (events sharing one virtual instant, observed when the
+	// clock advances) expose the event-queue shape.
+	QueueDepth     *obs.Gauge
+	QueueDepthHist *obs.Histogram
+	BatchSize      *obs.Histogram
+
+	// SampleStride is the timing/queue-depth sampling stride in events
+	// (0 = DefaultSampleStride). Sampling is skipped entirely when no
+	// timing instrument is attached.
+	SampleStride int
 }
+
+// DefaultSampleStride is the default event-sampling stride: 1-in-64
+// events pay two wall-clock reads, keeping timing overhead well under a
+// percent of the hot loop.
+const DefaultSampleStride = 64
 
 // SetInstruments attaches observability counters. Call before Run;
 // counters never influence event order or timing.
-func (n *Network) SetInstruments(ins Instruments) { n.ins = ins }
+func (n *Network) SetInstruments(ins Instruments) {
+	n.ins = ins
+	n.timed = ins.DeliverNanos != nil || ins.TimerNanos != nil ||
+		ins.QueueDepth != nil || ins.QueueDepthHist != nil
+	n.stride = uint64(ins.SampleStride)
+	if n.stride == 0 {
+		n.stride = DefaultSampleStride
+	}
+}
 
 type linkKey struct{ from, to int }
 
@@ -236,6 +294,8 @@ func (n *Network) Send(from, to int, frame []byte) {
 		key := linkKey{from, to}
 		if busyUntil := n.linkBusy[key]; busyUntil > depart {
 			depart = busyUntil
+			n.BandwidthQueued++
+			n.ins.BandwidthQueuedFrames.Inc()
 		}
 		ser := time.Duration(float64(len(frame)) / n.cfg.Bandwidth * float64(time.Second))
 		depart += ser
@@ -250,6 +310,8 @@ func (n *Network) Send(from, to int, frame []byte) {
 		delay += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
 	}
 	cp := append([]byte(nil), frame...)
+	n.queuedFrames++
+	n.queuedFrameBytes += int64(len(cp))
 	n.push(depart+delay, event{kind: evDeliver, from: from, to: to, frame: cp})
 }
 
@@ -283,17 +345,38 @@ func (n *Network) AfterFunc(d time.Duration, fn func()) *Timer {
 
 // Step executes the single next event. It reports false when no events
 // remain.
+//
+// The accounting in the loop obeys the plane's determinism rule: class
+// counters and batch tracking are plain integer updates plus nil-safe
+// atomic bumps, and the wall-clock timing runs only on every stride-th
+// event when timing instruments are attached — it reads the wall clock
+// around the handler but feeds nothing back into the virtual clock, event
+// order, or any RNG.
 func (n *Network) Step() bool {
 	for n.events.Len() > 0 {
 		ev := heap.Pop(&n.events).(event)
 		if ev.at < n.now {
 			panic(fmt.Sprintf("emunet: time went backwards: %v < %v", ev.at, n.now))
 		}
+		if ev.at != n.now && n.batch > 0 {
+			n.ins.BatchSize.Observe(float64(n.batch))
+			n.batch = 0
+		}
 		n.now = ev.at
+		n.batch++
 		n.EventsProcessed++
 		n.ins.Events.Inc()
+		sampled := n.timed && n.EventsProcessed%n.stride == 0
+		if sampled {
+			depth := int64(n.events.Len())
+			n.ins.QueueDepth.Set(depth)
+			n.ins.QueueDepthHist.Observe(float64(depth))
+		}
 		switch ev.kind {
 		case evDeliver:
+			n.queuedFrames--
+			n.queuedFrameBytes -= int64(len(ev.frame))
+			n.ins.DeliverEvents.Inc()
 			if n.silenced[ev.from] || n.silenced[ev.to] || n.cut(ev.from, ev.to) {
 				n.FramesLost++
 				n.ins.FramesLost.Inc()
@@ -309,18 +392,64 @@ func (n *Network) Step() bool {
 			n.BytesDelivered += uint64(len(ev.frame))
 			n.ins.FramesDelivered.Inc()
 			n.ins.BytesDelivered.Add(int64(len(ev.frame)))
-			h.HandleFrame(ev.from, ev.frame)
+			if sampled {
+				t0 := time.Now()
+				h.HandleFrame(ev.from, ev.frame)
+				n.ins.DeliverNanos.Add(time.Since(t0).Nanoseconds())
+				n.ins.SampledEvents.Inc()
+			} else {
+				h.HandleFrame(ev.from, ev.frame)
+			}
 		case evTimer:
+			n.TimerFires++
+			n.ins.TimerEvents.Inc()
 			if ev.timer.stopped {
 				continue
 			}
 			ev.timer.fired = true
-			ev.fn()
+			if sampled {
+				t0 := time.Now()
+				ev.fn()
+				n.ins.TimerNanos.Add(time.Since(t0).Nanoseconds())
+				n.ins.SampledEvents.Inc()
+			} else {
+				ev.fn()
+			}
 		}
 		return true
 	}
+	if n.batch > 0 {
+		n.ins.BatchSize.Observe(float64(n.batch))
+		n.batch = 0
+	}
 	return false
 }
+
+// Per-entry size estimates for Footprint.
+const (
+	eventStructBytes = 80 // at, seq, kind, from, to, frame header, fn, timer
+	linkBusyEntry    = 16 + 8 + obs.MapEntryOverhead
+)
+
+// Footprint implements obs.Footprinter: the event heap's full capacity,
+// the payload bytes of queued deliver frames (tracked incrementally on
+// push/pop — the walk never scans the heap), the bandwidth link-busy map
+// and the per-node handler/silenced/group slices. Read-only and pure
+// arithmetic, per the plane's determinism rule.
+func (n *Network) Footprint() obs.Footprint {
+	return obs.Footprint{
+		Subsystem: "emunet",
+		Bytes: int64(cap(n.events))*eventStructBytes +
+			n.queuedFrameBytes +
+			int64(len(n.linkBusy))*linkBusyEntry +
+			int64(len(n.handlers))*(16+1+8), // handler iface + silenced + group
+		Items: int64(n.events.Len()),
+	}
+}
+
+// QueuedFrames returns the number of frames currently in flight in the
+// event queue (deliver events not yet executed).
+func (n *Network) QueuedFrames() int64 { return n.queuedFrames }
 
 // Run executes events until the virtual clock reaches deadline or the event
 // queue drains. It returns the number of events executed.

@@ -12,6 +12,7 @@ package gossip
 
 import (
 	"emcast/internal/ids"
+	"emcast/internal/obs"
 	"emcast/internal/peer"
 	"emcast/internal/trace"
 )
@@ -121,6 +122,16 @@ func (g *Gossip) LReceive(id ids.ID, payload []byte, round int, from peer.ID) {
 		return
 	}
 	g.forward(id, payload, round)
+}
+
+// Footprint implements obs.Footprinter: the retained bytes of the known
+// set K. Read-only; callers serialise access like every other method.
+func (g *Gossip) Footprint() obs.Footprint {
+	return obs.Footprint{
+		Subsystem: "gossip",
+		Bytes:     g.known.FootprintBytes(),
+		Items:     int64(g.known.Len()),
+	}
 }
 
 // Knows reports whether id is in the known set K.

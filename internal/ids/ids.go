@@ -107,6 +107,21 @@ func (s *Set) Len() int {
 	return len(s.members)
 }
 
+// setEntryOverhead estimates the per-entry map bookkeeping charged by
+// FootprintBytes, mirroring obs.MapEntryOverhead (ids stays dependency-
+// free, so the constant is duplicated rather than imported).
+const setEntryOverhead = 16
+
+// FootprintBytes estimates the retained bytes of the set: the members map
+// (16-byte IDs plus per-entry overhead) and the FIFO order slice's full
+// capacity, dead prefix included — that memory is pinned until the next
+// compaction. The formula is deterministic arithmetic over lengths and
+// capacities, so accounting walks never perturb a seeded run.
+func (s *Set) FootprintBytes() int64 {
+	return int64(len(s.members))*(IDSize+setEntryOverhead) +
+		int64(cap(s.order))*IDSize
+}
+
 func (s *Set) evict() {
 	if s.capacity <= 0 {
 		return

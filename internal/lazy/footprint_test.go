@@ -1,0 +1,97 @@
+package lazy
+
+import (
+	"testing"
+	"time"
+
+	"emcast/internal/ids"
+	"emcast/internal/msg"
+	"emcast/internal/obs"
+	"emcast/internal/strategy"
+)
+
+// TestModuleFootprint pins the lazy module's byte report against
+// hand-built state: a fresh module reports zero, cached payloads charge
+// map entry + order slot + payload bytes, received ids charge the dedup
+// set, and a pending request charges its struct and source slices.
+func TestModuleFootprint(t *testing.T) {
+	f := newFixture(t, 1, &strategy.Flat{P: 0}, Config{})
+
+	fp := f.mod.Footprint()
+	if fp.Subsystem != "lazy" || fp.Bytes != 0 || fp.Items != 0 {
+		t.Fatalf("empty module footprint = %+v, want lazy/0/0", fp)
+	}
+
+	// One cached 100-byte payload (the lazy LSend path caches it):
+	// map entry 16+32+16 = 64, order slot cap 1 → 16, payload 100.
+	id1 := ids.ID{1}
+	f.mod.LSend(id1, make([]byte, 100), 1, 2)
+	fp = f.mod.Footprint()
+	if want := int64(64 + 16 + 100); fp.Bytes != want {
+		t.Errorf("after 1 cached payload: bytes = %d, want %d", fp.Bytes, want)
+	}
+	if fp.Items != 1 {
+		t.Errorf("after 1 cached payload: items = %d, want 1", fp.Items)
+	}
+
+	// One received 40-byte payload: the dedup set gains one id
+	// (16+16 map + order slot cap 1 → 16 = 48); nothing else retained.
+	id2 := ids.ID{2}
+	f.mod.OnMsg(id2, make([]byte, 40), 1, 3)
+	fp = f.mod.Footprint()
+	if want := int64(64+16+100) + 48; fp.Bytes != want {
+		t.Errorf("after 1 received payload: bytes = %d, want %d", fp.Bytes, want)
+	}
+	if fp.Items != 2 {
+		t.Errorf("after 1 received payload: items = %d, want 2", fp.Items)
+	}
+
+	// One pending request from an IHAVE: map slot 16+8+16, struct 72,
+	// one source in a cap-1 slice (4), no asked yet.
+	id3 := ids.ID{3}
+	f.mod.OnIHave(id3, 4)
+	fp = f.mod.Footprint()
+	req := f.mod.pending[id3]
+	wantPending := int64(ids.IDSize+8+obs.MapEntryOverhead+pendingStructBytes) +
+		int64(cap(req.sources)+cap(req.asked))*4
+	if want := int64(64+16+100) + 48 + wantPending; fp.Bytes != want {
+		t.Errorf("after 1 pending request: bytes = %d, want %d", fp.Bytes, want)
+	}
+	if fp.Items != 3 {
+		t.Errorf("after 1 pending request: items = %d, want 3", fp.Items)
+	}
+
+	// Receiving the pending payload clears the request and moves the id
+	// into the received set.
+	f.sim.Advance(time.Second)
+	f.mod.OnMsg(id3, make([]byte, 10), 1, 4)
+	fp = f.mod.Footprint()
+	if f.mod.PendingRequests() != 0 {
+		t.Fatalf("pending = %d, want 0", f.mod.PendingRequests())
+	}
+	// Received set now holds 2 ids: 2*(16+16) + order cap 2 → 32 = 96.
+	if want := int64(64+16+100) + 96; fp.Bytes != want {
+		t.Errorf("after clearing: bytes = %d, want %d", fp.Bytes, want)
+	}
+}
+
+// TestCacheBytesTrackEviction pins the incremental payload-byte counter
+// through FIFO eviction: evicted payloads stop being charged.
+func TestCacheBytesTrackEviction(t *testing.T) {
+	f := newFixture(t, 1, &strategy.Flat{P: 0}, Config{CacheCapacity: 2})
+	for i := byte(1); i <= 4; i++ {
+		f.mod.LSend(ids.ID{i}, make([]byte, int(i)*10), 1, 2)
+	}
+	// Capacity 2: ids 3 and 4 remain, 30+40 payload bytes.
+	if f.mod.cache.bytes != 70 {
+		t.Fatalf("cache.bytes = %d, want 70", f.mod.cache.bytes)
+	}
+	if f.mod.cache.Len() != 2 {
+		t.Fatalf("cache.Len = %d, want 2", f.mod.cache.Len())
+	}
+	// A request for an evicted id is a miss, not a stale charge.
+	f.mod.OnIWant(ids.ID{1}, 3)
+	if got := len(f.framesOfKind(t, msg.KindMsg)); got != 0 {
+		t.Fatalf("evicted id served %d payloads, want 0", got)
+	}
+}

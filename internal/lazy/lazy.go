@@ -20,6 +20,7 @@ import (
 
 	"emcast/internal/ids"
 	"emcast/internal/msg"
+	"emcast/internal/obs"
 	"emcast/internal/peer"
 	"emcast/internal/strategy"
 	"emcast/internal/trace"
@@ -269,12 +270,47 @@ func (m *Module) Received(id ids.ID) bool { return m.received.Contains(id) }
 // PendingRequests returns the number of messages awaiting payload.
 func (m *Module) PendingRequests() int { return len(m.pending) }
 
+// Per-entry size estimates for Footprint: the cached struct (payload
+// slice header + round) stored as a map value, and the pendingRequest
+// struct behind its map pointer (two slice headers, timer interface,
+// tries).
+const (
+	cachedEntryBytes  = 24 + 8
+	pendingStructBytes = 2*24 + 16 + 8
+)
+
+// Footprint implements obs.Footprinter: the retained bytes of the
+// per-node lazy state — the received dedup set R, the payload cache C
+// (map entries plus the cached payload bytes the cache tracks
+// incrementally) and the pending retransmission requests with their
+// source rotation queues. Pure arithmetic over tracked lengths and
+// capacities; callers hold the owning node's lock, like every other
+// method.
+func (m *Module) Footprint() obs.Footprint {
+	bytes := m.received.FootprintBytes()
+	bytes += int64(len(m.cache.entries))*(ids.IDSize+cachedEntryBytes+obs.MapEntryOverhead) +
+		int64(cap(m.cache.order))*ids.IDSize +
+		m.cache.bytes
+	for _, req := range m.pending {
+		bytes += ids.IDSize + 8 + obs.MapEntryOverhead + pendingStructBytes +
+			int64(cap(req.sources)+cap(req.asked))*4
+	}
+	return obs.Footprint{
+		Subsystem: "lazy",
+		Bytes:     bytes,
+		Items:     int64(m.received.Len() + m.cache.Len() + len(m.pending)),
+	}
+}
+
 // payloadCache is the bounded map C of Fig. 3, with FIFO eviction.
 type payloadCache struct {
 	capacity int
 	entries  map[ids.ID]cached
 	order    []ids.ID
 	head     int
+	// bytes tracks the payload bytes currently cached, maintained on
+	// put/evict so Footprint never walks the entries.
+	bytes int64
 }
 
 func newPayloadCache(capacity int) *payloadCache {
@@ -289,11 +325,13 @@ func (c *payloadCache) put(id ids.ID, e cached) {
 		return
 	}
 	c.entries[id] = e
+	c.bytes += int64(len(e.payload))
 	c.order = append(c.order, id)
 	for len(c.entries) > c.capacity {
 		victim := c.order[c.head]
 		c.order[c.head] = ids.ID{}
 		c.head++
+		c.bytes -= int64(len(c.entries[victim].payload))
 		delete(c.entries, victim)
 	}
 	if c.head > len(c.order)/2 && c.head > 64 {

@@ -15,6 +15,7 @@ package membership
 import (
 	"math/rand"
 
+	"emcast/internal/obs"
 	"emcast/internal/peer"
 )
 
@@ -151,6 +152,23 @@ func (v *View) ShuffleSample() []peer.ID {
 func (v *View) Merge(sample []peer.ID) {
 	for _, p := range sample {
 		v.Add(p)
+	}
+}
+
+// peerIDBytes is the size of one peer.ID entry (uint32).
+const peerIDBytes = 4
+
+// Footprint implements obs.Footprinter: the peers slice's capacity plus
+// the index map (4-byte ID key, 8-byte int value, map overhead). The
+// estimate is pure arithmetic over lengths and capacities — the walk
+// never mutates the view. Callers must hold the owning node's lock, like
+// every other View method.
+func (v *View) Footprint() obs.Footprint {
+	return obs.Footprint{
+		Subsystem: "membership",
+		Bytes: int64(cap(v.peers))*peerIDBytes +
+			int64(len(v.index))*(peerIDBytes+8+obs.MapEntryOverhead),
+		Items: int64(len(v.peers)),
 	}
 }
 

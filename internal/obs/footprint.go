@@ -1,0 +1,87 @@
+package obs
+
+import "sort"
+
+// Footprint is one subsystem's retained-memory report: an estimate of the
+// live bytes a piece of state pins, plus the item count behind them. The
+// estimates are deterministic arithmetic over lengths and capacities —
+// never runtime.ReadMemStats — so two runs of the same seed report the
+// same bytes, and the per-subsystem table is diffable across commits the
+// way a heap profile is not.
+//
+// Estimates use a fixed MapEntryOverhead per map entry on top of the key
+// and value sizes. That undercounts Go's real bucket geometry slightly but
+// keeps the formula exact and assertable in tests; the figures are for
+// attribution (which subsystem owns the bytes) and trend tracking, not
+// allocator-exact accounting.
+type Footprint struct {
+	// Subsystem names the owner: "lazy", "membership", "gossip",
+	// "emunet", "trace", "topology".
+	Subsystem string `json:"subsystem"`
+	// Bytes is the estimated retained bytes.
+	Bytes int64 `json:"bytes"`
+	// Items counts the units behind the bytes (ids held, peers in view,
+	// events queued, messages aggregated, rows resident).
+	Items int64 `json:"items"`
+}
+
+// Footprinter is implemented by state owners that can estimate their
+// retained bytes: the lazy module, the membership view, the gossip known
+// set, the emulator, the trace collectors and the topology matrix.
+// Implementations must be read-only — walking footprints never mutates
+// the observed object, which is what keeps reports byte-identical with
+// accounting on or off.
+type Footprinter interface {
+	Footprint() Footprint
+}
+
+// MapEntryOverhead is the per-entry bookkeeping estimate charged for Go
+// map entries on top of key and value bytes (bucket headers, tophash,
+// load-factor slack).
+const MapEntryOverhead = 16
+
+// MergeFootprints sums footprints by subsystem and returns the merged
+// set sorted by subsystem name, so aggregated reports (one entry per
+// node, thousands of nodes) collapse deterministically.
+func MergeFootprints(fps []Footprint) []Footprint {
+	byName := make(map[string]Footprint, 8)
+	for _, f := range fps {
+		m := byName[f.Subsystem]
+		m.Subsystem = f.Subsystem
+		m.Bytes += f.Bytes
+		m.Items += f.Items
+		byName[f.Subsystem] = m
+	}
+	out := make([]Footprint, 0, len(byName))
+	for _, f := range byName {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Subsystem < out[j].Subsystem })
+	return out
+}
+
+// FootprintBytesMap flattens footprints into subsystem → bytes, the shape
+// event-log fields and bench columns use.
+func FootprintBytesMap(fps []Footprint) map[string]int64 {
+	m := make(map[string]int64, len(fps))
+	for _, f := range fps {
+		m[f.Subsystem] += f.Bytes
+	}
+	return m
+}
+
+// PublishFootprints sets the per-subsystem gauges
+// <prefix>_footprint_bytes{subsystem=...} and
+// <prefix>_footprint_items{subsystem=...} on reg. Nil-safe: a nil
+// registry is a no-op. Gauges overwrite, so the registry always shows the
+// most recent walk (in a sweep, the most recently completed cell).
+func PublishFootprints(reg *Registry, prefix string, fps []Footprint) {
+	if reg == nil {
+		return
+	}
+	for _, f := range fps {
+		l := Label{Key: "subsystem", Value: f.Subsystem}
+		reg.Gauge(prefix+"_footprint_bytes", "estimated retained bytes by subsystem at the last accounting walk", l).Set(f.Bytes)
+		reg.Gauge(prefix+"_footprint_items", "retained items by subsystem at the last accounting walk", l).Set(f.Items)
+	}
+}

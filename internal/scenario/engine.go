@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"emcast/internal/disstrace"
+	"emcast/internal/obs"
 	"emcast/internal/sim"
 	"emcast/internal/topology"
 	"emcast/internal/trace"
@@ -180,14 +181,18 @@ func (e *Engine) Run() (*Report, error) {
 			e.runner.RunFor(e.spec.Drain.D())
 		}
 		bounds = append(bounds, e.boundary())
-		e.spec.EventLog.Event("phase_end", map[string]interface{}{
+		phaseEnd := map[string]interface{}{
 			"scenario":   e.spec.Name,
 			"phase":      p.Name,
 			"index":      i,
 			"virtual_ms": float64(e.runner.Network().Now()) / float64(time.Millisecond),
 			"sim_events": e.runner.Events(),
 			"live":       len(e.runner.LiveAll()),
-		})
+		}
+		if fps := e.walkFootprints(); fps != nil {
+			phaseEnd["footprint_bytes"] = obs.FootprintBytesMap(fps)
+		}
+		e.spec.EventLog.Event("phase_end", phaseEnd)
 	}
 	rep := e.report(starts, bounds)
 	if d := e.runner.DissTracer(); d != nil {
@@ -196,13 +201,32 @@ func (e *Engine) Run() (*Report, error) {
 		// caller never asks for the trees.
 		d.Report()
 	}
+	finalFps := e.walkFootprints()
 	e.runner.ReleaseObs()
-	e.spec.EventLog.Event("run_end", map[string]interface{}{
+	runEnd := map[string]interface{}{
 		"scenario":   e.spec.Name,
 		"virtual_ms": float64(e.runner.Network().Now()) / float64(time.Millisecond),
 		"sim_events": e.runner.Events(),
-	})
+	}
+	if finalFps != nil {
+		runEnd["footprint_bytes"] = obs.FootprintBytesMap(finalFps)
+	}
+	e.spec.EventLog.Event("run_end", runEnd)
 	return rep, nil
+}
+
+// walkFootprints runs the per-subsystem accounting walk when the obs
+// plane is attached (registry or event log), publishing the gauges and
+// returning the merged footprints; with neither attached it returns nil
+// without touching the runner, so unobserved runs pay nothing. The walk
+// only reads simulation state — reports stay byte-identical either way.
+func (e *Engine) walkFootprints() []obs.Footprint {
+	if e.spec.Obs == nil && e.spec.EventLog == nil {
+		return nil
+	}
+	fps := e.runner.Footprints()
+	obs.PublishFootprints(e.spec.Obs, "sim", fps)
+	return fps
 }
 
 // schedulePhase installs every traffic arrival, churn event and network

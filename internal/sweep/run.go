@@ -68,7 +68,8 @@ func (s *Spec) Run() (*Matrix, error) {
 				begin := time.Now()
 				var events uint64
 				var trees *disstrace.TreeReport
-				reports[i], events, trees, errs[i] = runCell(&cells[i], s.Obs)
+				var fps []obs.Footprint
+				reports[i], events, trees, fps, errs[i] = runCell(&cells[i], s.Obs, s.EventLog != nil)
 				dur := time.Since(begin)
 				busy.Add(-1)
 				cellSeconds.Observe(dur.Seconds())
@@ -86,17 +87,22 @@ func (s *Spec) Run() (*Matrix, error) {
 					Scenario: c.scenario, Strategy: c.strategy,
 					Nodes: c.nodes, Seed: c.seed,
 					Duration: dur, Events: events,
-					Failed: errs[i] != nil,
-					Trees:  trees,
+					Failed:     errs[i] != nil,
+					Trees:      trees,
+					Footprints: fps,
 				}
-				s.EventLog.Event("cell_complete", map[string]interface{}{
+				cellEvent := map[string]interface{}{
 					"done": cd.Done, "total": cd.Total,
 					"scenario": cd.Scenario, "strategy": cd.Strategy,
 					"nodes": cd.Nodes, "seed": cd.Seed,
 					"duration_ms": float64(cd.Duration) / float64(time.Millisecond),
 					"sim_events":  cd.Events,
 					"failed":      cd.Failed,
-				})
+				}
+				if cd.Footprints != nil {
+					cellEvent["footprint_bytes"] = obs.FootprintBytesMap(cd.Footprints)
+				}
+				s.EventLog.Event("cell_complete", cellEvent)
 				if s.OnCell != nil {
 					s.OnCell(cd)
 				}
@@ -126,19 +132,26 @@ func (s *Spec) Run() (*Matrix, error) {
 // runCell plays one cell's scenario to completion, attaching the sweep's
 // registry (when present) so the cell's simulation counters aggregate with
 // every other cell's. It also returns the emulator event count — the
-// numerator of the cell's events/sec figure.
-func runCell(c *cell, reg *obs.Registry) (*scenario.Report, uint64, *disstrace.TreeReport, error) {
+// numerator of the cell's events/sec figure — and, when the sweep's obs
+// plane is attached (registry, or wantFootprints for an event log), the
+// cell's end-of-run per-subsystem footprint accounting.
+func runCell(c *cell, reg *obs.Registry, wantFootprints bool) (*scenario.Report, uint64, *disstrace.TreeReport, []obs.Footprint, error) {
 	spec := c.spec
 	spec.Obs = reg
 	eng, err := scenario.New(spec)
 	if err != nil {
-		return nil, 0, nil, err
+		return nil, 0, nil, nil, err
 	}
 	rep, err := eng.Run()
 	if err != nil {
-		return nil, 0, nil, err
+		return nil, 0, nil, nil, err
 	}
-	return rep, eng.Runner().Events(), eng.TreeReport(), nil
+	var fps []obs.Footprint
+	if reg != nil || wantFootprints {
+		fps = eng.Runner().Footprints()
+		obs.PublishFootprints(reg, "sim", fps)
+	}
+	return rep, eng.Runner().Events(), eng.TreeReport(), fps, nil
 }
 
 // cellMetrics flattens a report's metrics into the named values the

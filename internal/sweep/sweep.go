@@ -125,6 +125,10 @@ type CellDone struct {
 	// Spec.TraceSample is positive; nil otherwise. It never enters the
 	// matrix — the matrix stays byte-identical with sampling on or off.
 	Trees *disstrace.TreeReport
+	// Footprints is the cell's end-of-run per-subsystem retained-byte
+	// accounting, walked when the sweep has an Obs registry or EventLog
+	// attached; nil otherwise. Like Trees it never enters the matrix.
+	Footprints []obs.Footprint
 }
 
 // ScenarioRef names one scenario of the sweep: exactly one of Builtin,

@@ -1,0 +1,46 @@
+package topology
+
+import "testing"
+
+// TestMatrixFootprint pins the matrix's byte report: resident quantized
+// rows plus the fixed per-client and per-router bookkeeping, with Items
+// tracking the LRU working set through materialization and eviction.
+func TestMatrixFootprint(t *testing.T) {
+	p := DefaultParams().Scaled(8)
+	p.Clients = 40
+	p.Seed = 7
+	m := Generate(p).ClientMatrix()
+
+	fixed := int64(m.N)*perClientBytes + int64(m.Rows())*perRouterBytes
+	fp := m.Footprint()
+	if fp.Subsystem != "topology" {
+		t.Fatalf("subsystem = %q", fp.Subsystem)
+	}
+	if fp.Bytes != fixed || fp.Items != 0 {
+		t.Fatalf("cold footprint = %+v, want bytes %d items 0", fp, fixed)
+	}
+
+	m.Materialize()
+	fp = m.Footprint()
+	if fp.Bytes != m.ResidentBytes()+fixed {
+		t.Fatalf("bytes = %d, want resident %d + fixed %d", fp.Bytes, m.ResidentBytes(), fixed)
+	}
+	if fp.Items != int64(m.Rows()) {
+		t.Fatalf("items = %d, want %d resident rows", fp.Items, m.Rows())
+	}
+	rows := int64(m.Rows())
+	full := m.ResidentBytes()
+
+	// Squeeze the cache: the footprint must track the evictions.
+	m.SetBudget(full / 2)
+	fp = m.Footprint()
+	if fp.Bytes >= full+fixed {
+		t.Fatalf("bytes = %d did not drop under budget (full %d)", fp.Bytes, full+fixed)
+	}
+	if fp.Items >= rows || fp.Items < 1 {
+		t.Fatalf("items = %d, want in [1, %d)", fp.Items, rows)
+	}
+	if fp.Bytes != m.ResidentBytes()+fixed {
+		t.Fatalf("bytes = %d, want resident %d + fixed %d", fp.Bytes, m.ResidentBytes(), fixed)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"emcast/internal/obs"
 )
 
 // Quantized row entry sizes, used for cache-budget accounting.
@@ -171,6 +173,30 @@ func (m *Matrix) Evictions() int64 {
 // Rows returns the number of attach-router rows backing the client plane
 // (S in the S×S representation).
 func (m *Matrix) Rows() int { return len(m.stubNode) }
+
+// Per-entry size estimates for Footprint: the fixed per-client collapse
+// state and the per-attach-router bookkeeping (row slice headers, LRU
+// element pointers, ever-computed flags, list.Element nodes).
+const (
+	perClientBytes = 4 + 4 + 16     // stubOf + accessNs + Coords
+	perRouterBytes = 8 + 2*24 + 2 + 8 + 48 // stubNode + lat/hops headers + ever flags + lruElem + list node
+)
+
+// Footprint implements obs.Footprinter: the quantized rows currently
+// resident in the cache (the number the byte budget governs) plus the
+// fixed per-client collapse state and per-attach-router bookkeeping.
+// Items is the count of rows on the LRU list — the cache's working set.
+func (m *Matrix) Footprint() obs.Footprint {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return obs.Footprint{
+		Subsystem: "topology",
+		Bytes: m.resident +
+			int64(m.N)*perClientBytes +
+			int64(len(m.stubNode))*perRouterBytes,
+		Items: int64(m.lruList.Len()),
+	}
+}
 
 // latRowLocked returns the latency row of attach router s, computing it on
 // first use (or after eviction) and marking it most recently used.

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"emcast/internal/ids"
+	"emcast/internal/obs"
+)
+
+// Per-entry size estimates for the Footprint walks. Like every other
+// subsystem's accounting these are deterministic arithmetic over lengths
+// and capacities — the walk takes the collector's lock, reads, and never
+// allocates or mutates, so it cannot perturb a seeded run.
+const (
+	// msgStatsBytes is the fixed part of one MsgStats: ID, origin, sent
+	// time, counters and the three slice headers (latencies, bitset words,
+	// completions).
+	msgStatsBytes = 16 + 8 + 8 + 8 + 8 + 3*24
+	// messageBytes is the fixed part of one Collector Message: ID, origin,
+	// sent time and the deliveries slice header.
+	messageBytes = 16 + 8 + 8 + 24
+	// deliveryBytes is one retained Delivery record (peer.ID + instant,
+	// padded).
+	deliveryBytes = 16
+	// linkLoadBytes is one LinkLoad value (two ints).
+	linkLoadBytes = 16
+	// spanBytes is one RetainCompletions span (two durations).
+	spanBytes = 16
+)
+
+// footprintBytes charges the shared counterCore state: per-link loads and
+// per-node payload counts. The scalar Counters live inline in the
+// collector struct and are not charged.
+func (c *counterCore) footprintBytes() int64 {
+	return int64(len(c.links))*(8+8+obs.MapEntryOverhead+linkLoadBytes) +
+		int64(len(c.payloadByNode))*(4+8+obs.MapEntryOverhead)
+}
+
+// msgStatsFootprint charges one message aggregate: the fixed struct plus
+// the full capacity of its latency samples, delivered-bitset words and any
+// retained completion records.
+func msgStatsFootprint(m *MsgStats) int64 {
+	return msgStatsBytes +
+		int64(cap(m.Latencies))*8 +
+		int64(cap(m.delivered.words))*8 +
+		int64(cap(m.completions))*deliveryBytes
+}
+
+// Footprint implements obs.Footprinter: the retained bytes of the
+// streaming fold — per-message aggregates (latency samples, delivered
+// bitsets, retained completions), the multicast order, pending payload
+// counts, retention spans and the shared link/node counters.
+func (s *Streaming) Footprint() obs.Footprint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bytes := int64(cap(s.order))*ids.IDSize +
+		int64(len(s.messages))*(ids.IDSize+8+obs.MapEntryOverhead) +
+		int64(len(s.pendingPayloads))*(ids.IDSize+8+obs.MapEntryOverhead) +
+		int64(cap(s.retain))*spanBytes +
+		s.core.footprintBytes()
+	for _, m := range s.messages {
+		bytes += msgStatsFootprint(m)
+	}
+	return obs.Footprint{
+		Subsystem: "trace",
+		Bytes:     bytes,
+		Items:     int64(len(s.messages)),
+	}
+}
+
+// Footprint implements obs.Footprinter: the retained bytes of the full
+// collector — every raw Delivery record, per-message payload counts, the
+// multicast order and the shared link/node counters.
+func (c *Collector) Footprint() obs.Footprint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bytes := int64(cap(c.order))*ids.IDSize +
+		int64(len(c.messages))*(ids.IDSize+8+obs.MapEntryOverhead) +
+		int64(len(c.payloadByMsg))*(ids.IDSize+8+obs.MapEntryOverhead) +
+		c.core.footprintBytes()
+	for _, m := range c.messages {
+		bytes += messageBytes + int64(cap(m.Deliveries))*deliveryBytes
+	}
+	return obs.Footprint{
+		Subsystem: "trace",
+		Bytes:     bytes,
+		Items:     int64(len(c.messages)),
+	}
+}
+
+var (
+	_ obs.Footprinter = (*Streaming)(nil)
+	_ obs.Footprinter = (*Collector)(nil)
+)
