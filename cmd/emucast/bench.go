@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"emcast/internal/emunet"
 	"emcast/internal/obs"
 	"emcast/internal/scenario"
 )
@@ -93,6 +94,10 @@ func runBench(args []string, out, errOut io.Writer) error {
 		fmt.Fprintf(out, "bench:   classes: %s deliver, %s timer, %s bandwidth-queued\n",
 			humanCount(float64(cell.DeliverEvents)), humanCount(float64(cell.TimerEvents)),
 			humanCount(float64(cell.BandwidthQueuedFrames)))
+		fmt.Fprintf(out, "bench:   sched %s: %s cascades, %s sorts, %s cur-inserts, %s overflow, max bucket %d\n",
+			cell.Sched.Kind, humanCount(float64(cell.Sched.Cascades)),
+			humanCount(float64(cell.Sched.Sorts)), humanCount(float64(cell.Sched.CurInserts)),
+			humanCount(float64(cell.Sched.Overflow)), cell.Sched.MaxBucket)
 		for _, sub := range footprintOrder(cell.FootprintBytes) {
 			fmt.Fprintf(out, "bench:   footprint %-10s %10s (%s/node)\n", sub,
 				humanBytes(uint64(cell.FootprintBytes[sub])),
@@ -167,6 +172,13 @@ type benchCell struct {
 	SampledEvents         int64  `json:"sampled_events,omitempty"`
 	SampledDeliverNs      int64  `json:"sampled_deliver_ns,omitempty"`
 	SampledTimerNs        int64  `json:"sampled_timer_ns,omitempty"`
+
+	// Sched is the event scheduler's internal counters: which
+	// implementation ran and, for the timer wheel, how often it
+	// cascaded, sorted a bucket, took the sorted-insert slow path or
+	// spilled to the overflow heap — the numbers that say whether the
+	// workload stayed on the wheel's O(1) fast path.
+	Sched emunet.SchedStats `json:"sched"`
 
 	// FootprintBytes is the end-of-run per-subsystem retained-byte
 	// accounting (deterministic arithmetic, not heap sampling).
@@ -249,6 +261,7 @@ func benchCellRun(nodes, scale int, seed int64, sample float64, errOut io.Writer
 		DeliverEvents:         events - net.TimerFires,
 		TimerEvents:           net.TimerFires,
 		BandwidthQueuedFrames: net.BandwidthQueued,
+		Sched:                 net.SchedStats(),
 		FootprintBytes:        obs.FootprintBytesMap(eng.Runner().Footprints()),
 	}
 	if v, ok := reg.Value("sim_events_sampled_total"); ok {

@@ -80,6 +80,24 @@ type Node struct {
 	shuffleT    peer.Timer
 	pingT       peer.Timer
 	rankT       peer.Timer
+
+	// scratch is the reusable encode buffer for outbound control frames.
+	// Safe because every send site holds n.mu and peer.Transport.Send
+	// never retains the slice.
+	scratch []byte
+	// parsed is the reusable decode scratch for inbound frames, used by
+	// HandleFrame under n.mu.
+	parsed msg.Parsed
+}
+
+// encoder is any wire message with the msg package's append-style Encode.
+type encoder interface{ Encode([]byte) []byte }
+
+// enc serialises a control frame into the node's scratch buffer. Callers
+// must hold n.mu and hand the result straight to Transport.Send.
+func (n *Node) enc(f encoder) []byte {
+	n.scratch = f.Encode(n.scratch[:0])
+	return n.scratch
 }
 
 type pingProbe struct {
@@ -217,48 +235,54 @@ func (n *Node) PendingRequests() int {
 
 // HandleFrame routes one inbound wire frame to the owning layer. Malformed
 // frames are dropped, matching the unreliable transport assumption.
+//
+// Decoding goes through a per-node reused msg.Parsed under the node lock:
+// the payload aliases the (transport-recycled) frame buffer and views
+// point into scratch, so nothing here escapes per frame — the lazy layer
+// copies the payload exactly once, on first receipt, and the membership
+// merges consume views without retaining them.
 func (n *Node) HandleFrame(from peer.ID, frame []byte) {
-	f, err := msg.Decode(frame)
-	if err != nil {
-		return
-	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	switch f := f.(type) {
-	case *msg.Msg:
-		n.lazy.OnMsg(f.ID, f.Payload, int(f.Round), from)
-	case *msg.IHave:
-		n.lazy.OnIHave(f.ID, from)
-	case *msg.IWant:
-		n.lazy.OnIWant(f.ID, from)
-	case *msg.Shuffle:
+	p := &n.parsed
+	if err := p.Decode(frame); err != nil {
+		return
+	}
+	switch p.Kind {
+	case msg.KindMsg:
+		n.lazy.OnMsg(p.ID, p.Payload, int(p.Round), from)
+	case msg.KindIHave:
+		n.lazy.OnIHave(p.ID, from)
+	case msg.KindIWant:
+		n.lazy.OnIWant(p.ID, from)
+	case msg.KindShuffle:
 		// Cyclon-style exchange: answer with our own sample, then swap
 		// the received entries in for the ones we just handed out.
 		sample := n.view.ShuffleSample()
-		n.env.Transport.Send(from, (&msg.ShuffleReply{View: sample}).Encode(nil))
-		n.view.MergeExchange(f.View, sample)
-	case *msg.ShuffleReply:
+		n.env.Transport.Send(from, n.enc(&msg.ShuffleReply{View: sample}))
+		n.view.MergeExchange(p.View, sample)
+	case msg.KindShuffleReply:
 		sent := n.shuffleSent[from]
 		delete(n.shuffleSent, from)
-		n.view.MergeExchange(f.View, sent)
-	case *msg.Join:
-		reply := (&msg.JoinReply{View: append(n.view.ShuffleSample(), n.env.Self())}).Encode(nil)
+		n.view.MergeExchange(p.View, sent)
+	case msg.KindJoin:
+		reply := n.enc(&msg.JoinReply{View: append(n.view.ShuffleSample(), n.env.Self())})
 		n.view.Add(from)
 		n.env.Transport.Send(from, reply)
-	case *msg.JoinReply:
-		n.view.Merge(f.View)
-	case *msg.Ping:
-		n.env.Transport.Send(from, (&msg.Pong{Nonce: f.Nonce}).Encode(nil))
-	case *msg.Pong:
-		if probe, ok := n.pingSent[f.Nonce]; ok && probe.to == from {
-			delete(n.pingSent, f.Nonce)
+	case msg.KindJoinReply:
+		n.view.Merge(p.View)
+	case msg.KindPing:
+		n.env.Transport.Send(from, n.enc(&msg.Pong{Nonce: p.Nonce}))
+	case msg.KindPong:
+		if probe, ok := n.pingSent[p.Nonce]; ok && probe.to == from {
+			delete(n.pingSent, p.Nonce)
 			if n.ewma != nil {
 				n.ewma.Observe(from, n.env.Now()-probe.at)
 			}
 		}
-	case *msg.Scores:
+	case msg.KindScores:
 		if n.ranking != nil {
-			n.ranking.Merge(f.Scores)
+			n.ranking.Merge(p.Scores)
 		}
 	}
 }
@@ -268,7 +292,7 @@ func (n *Node) Join(contact peer.ID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.view.Add(contact)
-	n.env.Transport.Send(contact, (&msg.Join{}).Encode(nil))
+	n.env.Transport.Send(contact, n.enc(&msg.Join{}))
 }
 
 func (n *Node) scheduleShuffle() {
@@ -281,7 +305,7 @@ func (n *Node) scheduleShuffle() {
 		if partner := n.view.ShufflePartner(); partner != peer.None {
 			sample := n.view.ShuffleSample()
 			n.shuffleSent[partner] = sample
-			n.env.Transport.Send(partner, (&msg.Shuffle{View: sample}).Encode(nil))
+			n.env.Transport.Send(partner, n.enc(&msg.Shuffle{View: sample}))
 		}
 		// Outstanding samples whose reply was lost must not pile up.
 		if len(n.shuffleSent) > 4*n.cfg.Membership.ViewSize+64 {
@@ -302,7 +326,7 @@ func (n *Node) schedulePing() {
 			n.pingNonce++
 			nonce := n.pingNonce
 			n.pingSent[nonce] = pingProbe{to: targets[0], at: n.env.Now()}
-			n.env.Transport.Send(targets[0], (&msg.Ping{Nonce: nonce}).Encode(nil))
+			n.env.Transport.Send(targets[0], n.enc(&msg.Ping{Nonce: nonce}))
 		}
 		// Probes whose pong was lost would otherwise accumulate
 		// forever; anything older than a few periods is dead.
@@ -328,7 +352,7 @@ func (n *Node) scheduleRankGossip() {
 		n.refreshOwnScore()
 		if partner := n.view.ShufflePartner(); partner != peer.None {
 			if sample := n.ranking.Sample(); len(sample) > 0 {
-				n.env.Transport.Send(partner, (&msg.Scores{Scores: sample}).Encode(nil))
+				n.env.Transport.Send(partner, n.enc(&msg.Scores{Scores: sample}))
 			}
 		}
 		n.scheduleRankGossip()

@@ -12,7 +12,6 @@
 package emunet
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -21,6 +20,10 @@ import (
 )
 
 // Handler receives frames delivered to a node.
+//
+// When the network runs with Config.PooledFrames, the frame slice is
+// recycled as soon as HandleFrame returns: handlers must copy anything
+// they keep.
 type Handler interface {
 	HandleFrame(from int, frame []byte)
 }
@@ -47,19 +50,42 @@ type Config struct {
 	Jitter time.Duration
 	// Seed drives loss and jitter randomness.
 	Seed int64
+	// Scheduler selects the event-queue implementation. The zero value is
+	// the timer wheel; SchedulerHeap restores the original binary heap.
+	// Both pop in the identical (time, seq) total order, so results do
+	// not depend on the choice — only speed does.
+	Scheduler SchedulerKind
+	// PooledFrames recycles in-flight frame buffers through an arena
+	// instead of allocating per send. It tightens the Handler contract
+	// (frames must not be retained past HandleFrame), so it is opt-in;
+	// the simulation runner enables it, raw-recorder tests do not.
+	PooledFrames bool
 }
 
 // Network is a simulated packet network between n nodes.
 type Network struct {
-	cfg      Config
-	latency  LatencyFunc
-	rng      *rand.Rand
-	now      time.Duration
-	seq      uint64
-	events   eventHeap
+	cfg     Config
+	latency LatencyFunc
+	rng     *rand.Rand
+	now     time.Duration
+	seq     uint64
+	// sched is the cold-path scheduler handle (len/slotCap/stats).
+	// Exactly one of wheel/heap is non-nil and aliases it: hot-path
+	// push/pop/peek dispatch on the concrete type so event pointers
+	// provably do not escape (an interface call would heap-allocate
+	// every pushed event) and calls inline.
+	sched    scheduler
+	wheel    *timerWheel
+	heap     *heapSched
 	handlers []Handler
 	silenced []bool
 	linkBusy map[linkKey]time.Duration
+
+	// pool recycles frame buffers when cfg.PooledFrames is set;
+	// oversizeFrameBytes tracks the in-flight bytes of frames too large
+	// for the pool's size classes, so Footprint stays exact either way.
+	pool               framePool
+	oversizeFrameBytes int64
 
 	// Dynamic conditions (scenario-driven network dynamics). latFactor
 	// scales and extraLat shifts the propagation delay of future frames;
@@ -164,7 +190,7 @@ type linkKey struct{ from, to int }
 
 // New creates a network of n nodes with the given one-way latency model.
 func New(n int, latency LatencyFunc, cfg Config) *Network {
-	return &Network{
+	net := &Network{
 		cfg:       cfg,
 		latency:   latency,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
@@ -174,7 +200,42 @@ func New(n int, latency LatencyFunc, cfg Config) *Network {
 		latFactor: 1,
 		group:     make([]int, n),
 	}
+	if cfg.Scheduler == SchedulerHeap {
+		net.heap = &heapSched{}
+		net.sched = net.heap
+	} else {
+		net.wheel = newTimerWheel()
+		net.sched = net.wheel
+	}
+	return net
 }
+
+// schedPop, schedPopMatch and schedPeekAt dispatch on the concrete
+// scheduler type — see the Network.sched field comment.
+func (n *Network) schedPop() (event, bool) {
+	if n.wheel != nil {
+		return n.wheel.pop()
+	}
+	return n.heap.pop()
+}
+
+func (n *Network) schedPopMatch(at time.Duration, from, to int) (event, bool) {
+	if n.wheel != nil {
+		return n.wheel.popMatchDeliver(at, from, to)
+	}
+	return n.heap.popMatchDeliver(at, from, to)
+}
+
+func (n *Network) schedPeekAt() (time.Duration, bool) {
+	if n.wheel != nil {
+		return n.wheel.peekAt()
+	}
+	return n.heap.peekAt()
+}
+
+// SchedStats returns the scheduler's internal counters (cascades, bucket
+// sorts, sorted inserts, overflow spills) for bench reporting.
+func (n *Network) SchedStats() SchedStats { return n.sched.stats() }
 
 // Size returns the number of nodes in the network.
 func (n *Network) Size() int { return len(n.handlers) }
@@ -309,10 +370,50 @@ func (n *Network) Send(from, to int, frame []byte) {
 	if n.cfg.Jitter > 0 {
 		delay += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
 	}
-	cp := append([]byte(nil), frame...)
+	var cp []byte
+	if n.cfg.PooledFrames {
+		cp = n.pool.get(len(frame))
+		copy(cp, frame)
+		if frameClass(len(frame)) < 0 {
+			n.oversizeFrameBytes += int64(len(frame))
+		}
+	} else {
+		cp = append([]byte(nil), frame...)
+	}
 	n.queuedFrames++
 	n.queuedFrameBytes += int64(len(cp))
-	n.push(depart+delay, event{kind: evDeliver, from: from, to: to, frame: cp})
+	// Zero-copy fast path: reserve the bucket slot and write the event
+	// fields straight into it — no 80-byte stack event, no block copy.
+	if n.wheel != nil {
+		s := n.pushSlot(depart + delay)
+		s.kind = evDeliver
+		s.from = from
+		s.to = to
+		s.frame = cp
+		return
+	}
+	// Heap oracle path. Field-by-field init: a composite literal
+	// assigned to an address-taken local is built in a temporary and
+	// block-copied — an 80-byte duffcopy per frame that the stores
+	// below avoid.
+	var ev event
+	ev.kind = evDeliver
+	ev.from = from
+	ev.to = to
+	ev.frame = cp
+	n.push(depart+delay, &ev)
+}
+
+// releaseFrame recycles a delivered (or dropped) frame buffer back into
+// the pool. A no-op when pooling is off.
+func (n *Network) releaseFrame(frame []byte) {
+	if !n.cfg.PooledFrames {
+		return
+	}
+	if frameClass(len(frame)) < 0 {
+		n.oversizeFrameBytes -= int64(len(frame))
+	}
+	n.pool.put(frame)
 }
 
 // Timer is a cancellable scheduled callback.
@@ -339,84 +440,116 @@ func (n *Network) AfterFunc(d time.Duration, fn func()) *Timer {
 		d = 0
 	}
 	t := &Timer{n: n}
-	t.seq = n.push(n.now+d, event{kind: evTimer, fn: fn, timer: t})
+	if n.wheel != nil {
+		s := n.pushSlot(n.now + d)
+		s.kind = evTimer
+		s.fn = fn
+		s.timer = t
+		t.seq = s.seq
+		return t
+	}
+	var ev event
+	ev.kind = evTimer
+	ev.fn = fn
+	ev.timer = t
+	t.seq = n.push(n.now+d, &ev)
 	return t
 }
 
-// Step executes the single next event. It reports false when no events
-// remain.
+// execEvent advances the clock to ev.at and executes one popped event,
+// reporting whether it was a "real" execution (a delivered frame or a
+// fired timer) as opposed to a skipped one (a frame dropped by
+// silence/partition, or a stopped timer).
 //
-// The accounting in the loop obeys the plane's determinism rule: class
-// counters and batch tracking are plain integer updates plus nil-safe
-// atomic bumps, and the wall-clock timing runs only on every stride-th
-// event when timing instruments are attached — it reads the wall clock
-// around the handler but feeds nothing back into the virtual clock, event
-// order, or any RNG.
-func (n *Network) Step() bool {
-	for n.events.Len() > 0 {
-		ev := heap.Pop(&n.events).(event)
-		if ev.at < n.now {
-			panic(fmt.Sprintf("emunet: time went backwards: %v < %v", ev.at, n.now))
+// The accounting obeys the plane's determinism rule: class counters and
+// batch tracking are plain integer updates plus nil-safe atomic bumps,
+// and the wall-clock timing runs only on every stride-th event when
+// timing instruments are attached — it reads the wall clock around the
+// handler but feeds nothing back into the virtual clock, event order, or
+// any RNG.
+func (n *Network) execEvent(ev *event) bool {
+	if ev.at < n.now {
+		panic(fmt.Sprintf("emunet: time went backwards: %v < %v", ev.at, n.now))
+	}
+	if ev.at != n.now && n.batch > 0 {
+		n.ins.BatchSize.Observe(float64(n.batch))
+		n.batch = 0
+	}
+	n.now = ev.at
+	n.batch++
+	n.EventsProcessed++
+	n.ins.Events.Inc()
+	sampled := n.timed && n.EventsProcessed%n.stride == 0
+	if sampled {
+		depth := int64(n.sched.len())
+		n.ins.QueueDepth.Set(depth)
+		n.ins.QueueDepthHist.Observe(float64(depth))
+	}
+	switch ev.kind {
+	case evDeliver:
+		n.queuedFrames--
+		n.queuedFrameBytes -= int64(len(ev.frame))
+		n.ins.DeliverEvents.Inc()
+		if n.silenced[ev.from] || n.silenced[ev.to] || n.cut(ev.from, ev.to) {
+			n.FramesLost++
+			n.ins.FramesLost.Inc()
+			n.releaseFrame(ev.frame)
+			return false
 		}
-		if ev.at != n.now && n.batch > 0 {
-			n.ins.BatchSize.Observe(float64(n.batch))
-			n.batch = 0
+		h := n.handlers[ev.to]
+		if h == nil {
+			n.FramesLost++
+			n.ins.FramesLost.Inc()
+			n.releaseFrame(ev.frame)
+			return false
 		}
-		n.now = ev.at
-		n.batch++
-		n.EventsProcessed++
-		n.ins.Events.Inc()
-		sampled := n.timed && n.EventsProcessed%n.stride == 0
+		n.FramesDelivered++
+		n.BytesDelivered += uint64(len(ev.frame))
+		n.ins.FramesDelivered.Inc()
+		n.ins.BytesDelivered.Add(int64(len(ev.frame)))
 		if sampled {
-			depth := int64(n.events.Len())
-			n.ins.QueueDepth.Set(depth)
-			n.ins.QueueDepthHist.Observe(float64(depth))
+			t0 := time.Now()
+			h.HandleFrame(ev.from, ev.frame)
+			n.ins.DeliverNanos.Add(time.Since(t0).Nanoseconds())
+			n.ins.SampledEvents.Inc()
+		} else {
+			h.HandleFrame(ev.from, ev.frame)
 		}
-		switch ev.kind {
-		case evDeliver:
-			n.queuedFrames--
-			n.queuedFrameBytes -= int64(len(ev.frame))
-			n.ins.DeliverEvents.Inc()
-			if n.silenced[ev.from] || n.silenced[ev.to] || n.cut(ev.from, ev.to) {
-				n.FramesLost++
-				n.ins.FramesLost.Inc()
-				continue
-			}
-			h := n.handlers[ev.to]
-			if h == nil {
-				n.FramesLost++
-				n.ins.FramesLost.Inc()
-				continue
-			}
-			n.FramesDelivered++
-			n.BytesDelivered += uint64(len(ev.frame))
-			n.ins.FramesDelivered.Inc()
-			n.ins.BytesDelivered.Add(int64(len(ev.frame)))
-			if sampled {
-				t0 := time.Now()
-				h.HandleFrame(ev.from, ev.frame)
-				n.ins.DeliverNanos.Add(time.Since(t0).Nanoseconds())
-				n.ins.SampledEvents.Inc()
-			} else {
-				h.HandleFrame(ev.from, ev.frame)
-			}
-		case evTimer:
-			n.TimerFires++
-			n.ins.TimerEvents.Inc()
-			if ev.timer.stopped {
-				continue
-			}
-			ev.timer.fired = true
-			if sampled {
-				t0 := time.Now()
-				ev.fn()
-				n.ins.TimerNanos.Add(time.Since(t0).Nanoseconds())
-				n.ins.SampledEvents.Inc()
-			} else {
-				ev.fn()
-			}
+		n.releaseFrame(ev.frame)
+		return true
+	case evTimer:
+		n.TimerFires++
+		n.ins.TimerEvents.Inc()
+		if ev.timer.stopped {
+			return false
+		}
+		ev.timer.fired = true
+		if sampled {
+			t0 := time.Now()
+			ev.fn()
+			n.ins.TimerNanos.Add(time.Since(t0).Nanoseconds())
+			n.ins.SampledEvents.Inc()
+		} else {
+			ev.fn()
 		}
 		return true
+	}
+	return false
+}
+
+// Step executes the single next event. It reports false when no events
+// remain. Skipped events (dropped frames, stopped timers) are consumed
+// and counted but do not satisfy the step — Step keeps popping until a
+// real execution or the queue drains.
+func (n *Network) Step() bool {
+	for {
+		ev, ok := n.schedPop()
+		if !ok {
+			break
+		}
+		if n.execEvent(&ev) {
+			return true
+		}
 	}
 	if n.batch > 0 {
 		n.ins.BatchSize.Observe(float64(n.batch))
@@ -425,25 +558,35 @@ func (n *Network) Step() bool {
 	return false
 }
 
-// Per-entry size estimates for Footprint.
+// Per-entry sizes for Footprint. eventSlotBytes is the exact size of the
+// event struct (pinned by a unsafe.Sizeof unit test), the unit of every
+// scheduler slot — heap capacity, wheel bucket cells, free-list cells and
+// the overflow heap alike.
 const (
-	eventStructBytes = 80 // at, seq, kind, from, to, frame header, fn, timer
-	linkBusyEntry    = 16 + 8 + obs.MapEntryOverhead
+	eventSlotBytes = 80 // at, seq, kind, from, to, frame header, fn, timer
+	linkBusyEntry  = 16 + 8 + obs.MapEntryOverhead
 )
 
-// Footprint implements obs.Footprinter: the event heap's full capacity,
-// the payload bytes of queued deliver frames (tracked incrementally on
-// push/pop — the walk never scans the heap), the bandwidth link-busy map
-// and the per-node handler/silenced/group slices. Read-only and pure
-// arithmetic, per the plane's determinism rule.
+// Footprint implements obs.Footprinter: every event slot the scheduler
+// retains (the wheel walks its bucket cells, free list and overflow heap;
+// the legacy heap reports its capacity), the bytes of in-flight frames
+// (the pool's full arena when pooling is on — pooled buffers are never
+// returned to the GC, so retained capacity is the truthful number —
+// otherwise the incrementally tracked queued-frame bytes), the bandwidth
+// link-busy map and the per-node handler/silenced/group slices.
+// Read-only and pure arithmetic, per the plane's determinism rule.
 func (n *Network) Footprint() obs.Footprint {
+	frameBytes := n.queuedFrameBytes
+	if n.cfg.PooledFrames {
+		frameBytes = n.pool.bytes + n.oversizeFrameBytes
+	}
 	return obs.Footprint{
 		Subsystem: "emunet",
-		Bytes: int64(cap(n.events))*eventStructBytes +
-			n.queuedFrameBytes +
+		Bytes: n.sched.slotCap()*eventSlotBytes +
+			frameBytes +
 			int64(len(n.linkBusy))*linkBusyEntry +
 			int64(len(n.handlers))*(16+1+8), // handler iface + silenced + group
-		Items: int64(n.events.Len()),
+		Items: int64(n.sched.len()),
 	}
 }
 
@@ -453,10 +596,46 @@ func (n *Network) QueuedFrames() int64 { return n.queuedFrames }
 
 // Run executes events until the virtual clock reaches deadline or the event
 // queue drains. It returns the number of events executed.
+//
+// Run is the hot loop, and it batches: after a frame delivery it drains
+// every further delivery pending at the same virtual instant on the same
+// directed link straight through the handler path, without re-entering
+// the generic pop dispatch. Batching cannot reorder anything — the
+// batched events are by construction exactly the next events in (time,
+// seq) order — and every per-frame drop check still runs, because a
+// handler executed mid-batch may silence a node or cut a partition under
+// the remaining frames.
 func (n *Network) Run(deadline time.Duration) int {
 	steps := 0
-	for n.events.Len() > 0 && n.events[0].at <= deadline {
-		n.Step()
+	for {
+		at, ok := n.schedPeekAt()
+		if !ok || at > deadline {
+			break
+		}
+		// One Step-equivalent: keep popping through skipped events until a
+		// real execution (or the queue drains under the skips).
+		stepped := false
+		for !stepped {
+			ev, ok := n.schedPop()
+			if !ok {
+				break
+			}
+			stepped = n.execEvent(&ev)
+			if stepped && ev.kind == evDeliver {
+				for {
+					bev, ok := n.schedPopMatch(ev.at, ev.from, ev.to)
+					if !ok {
+						break
+					}
+					if n.execEvent(&bev) {
+						steps++
+					}
+				}
+			}
+		}
+		if !stepped {
+			break
+		}
 		steps++
 	}
 	if n.now < deadline {
@@ -497,30 +676,21 @@ type event struct {
 	timer *Timer
 }
 
-func (n *Network) push(at time.Duration, ev event) uint64 {
+func (n *Network) push(at time.Duration, ev *event) uint64 {
 	n.seq++
 	ev.at = at
 	ev.seq = n.seq
-	heap.Push(&n.events, ev)
+	if n.wheel != nil {
+		n.wheel.push(ev)
+	} else {
+		n.heap.push(ev)
+	}
 	return ev.seq
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return ev
+// pushSlot reserves the next event slot at virtual time at in the wheel
+// and returns it for in-place field writes. Wheel scheduler only.
+func (n *Network) pushSlot(at time.Duration) *event {
+	n.seq++
+	return n.wheel.pushSlot(at, n.seq)
 }

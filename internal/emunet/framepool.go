@@ -1,0 +1,71 @@
+package emunet
+
+import "math/bits"
+
+// framePool recycles in-flight frame buffers through power-of-two size
+// classes. Send copies every frame (the emulator owns the bytes while
+// they are "on the wire"), and before pooling that copy was ~360 MB of
+// garbage per 1k-node cell. The pool has arena semantics: buffers are
+// never returned to the GC, and `bytes` counts the capacity of every
+// buffer the pool has ever allocated — each one is either in flight
+// inside an event or parked in a class stack, so the sum is the exact
+// retained footprint.
+//
+// Pooling is opt-in (Config.PooledFrames) because it tightens the
+// Handler contract: a pooled frame is recycled the moment HandleFrame
+// returns, so handlers must not retain the slice. Protocol code already
+// obeys this (core.Node decodes into per-node scratch and the lazy layer
+// copies payloads on first receipt), but test recorders that stash raw
+// frames do not.
+type framePool struct {
+	classes [frameClasses][][]byte
+	bytes   int64
+}
+
+const (
+	frameMinShift = 5  // 32 B floor — control frames dominate
+	frameMaxShift = 20 // 1 MiB ceiling — larger frames bypass the pool
+	frameClasses  = frameMaxShift - frameMinShift + 1
+)
+
+// frameClass maps a byte length to its size class, or -1 when the
+// length is beyond the pooled range.
+func frameClass(n int) int {
+	if n <= 1<<frameMinShift {
+		return 0
+	}
+	c := bits.Len(uint(n-1)) - frameMinShift
+	if c >= frameClasses {
+		return -1
+	}
+	return c
+}
+
+// get returns a length-n buffer backed by a recycled or freshly grown
+// pool slot; callers overwrite all n bytes. Oversize requests fall back
+// to a plain allocation the pool never sees again.
+func (p *framePool) get(n int) []byte {
+	c := frameClass(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	if stack := p.classes[c]; len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack[len(stack)-1] = nil
+		p.classes[c] = stack[:len(stack)-1]
+		return b[:n]
+	}
+	p.bytes += 1 << (c + frameMinShift)
+	return make([]byte, n, 1<<(c+frameMinShift))
+}
+
+// put parks a buffer previously handed out by get. Buffers whose
+// capacity is not an exact pool class (oversize fallbacks) are dropped
+// for the GC.
+func (p *framePool) put(b []byte) {
+	c := frameClass(cap(b))
+	if c < 0 || cap(b) != 1<<(c+frameMinShift) {
+		return
+	}
+	p.classes[c] = append(p.classes[c], b[:0])
+}

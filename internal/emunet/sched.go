@@ -1,0 +1,142 @@
+package emunet
+
+import (
+	"container/heap"
+	"time"
+)
+
+// SchedulerKind selects the event-queue implementation behind the
+// emulator. Both schedulers pop events in exactly the same total order —
+// ascending (time, seq) — so results are byte-identical either way; the
+// differential and golden tests pin that. The wheel is the default and
+// the fast path; the heap is the historical implementation, kept as the
+// differential-testing oracle and as an escape hatch.
+type SchedulerKind int
+
+const (
+	// SchedulerWheel is the hierarchical timer wheel (see wheel.go):
+	// O(1) amortised push/pop, per-tick bucket batching, free-listed
+	// event slots.
+	SchedulerWheel SchedulerKind = iota
+	// SchedulerHeap is the original container/heap binary heap:
+	// O(log n) per operation with interface boxing on every push/pop.
+	SchedulerHeap
+)
+
+// String returns the scheduler mnemonic used in bench output.
+func (k SchedulerKind) String() string {
+	if k == SchedulerHeap {
+		return "heap"
+	}
+	return "wheel"
+}
+
+// scheduler is the event-queue abstraction: a priority queue over events
+// in ascending (at, seq) order. Implementations must pop in exactly that
+// total order — the emulator's determinism contract.
+//
+// The Network dispatches hot-path calls on the concrete type (see
+// Network.wheel / Network.heap), not through this interface: a pointer
+// argument passed through an interface call is assumed to escape, which
+// would heap-allocate every pushed event. The interface remains the
+// shared contract and the cold-path handle (len/slotCap/stats).
+type scheduler interface {
+	// push inserts an event. ev.at and ev.seq are already set; seq values
+	// are unique and strictly increasing across pushes. The callee copies
+	// the event; the pointer is not retained.
+	push(ev *event)
+	// pop removes and returns the minimum-(at, seq) event.
+	pop() (event, bool)
+	// popMatchDeliver removes and returns the next event only when it is
+	// an evDeliver at exactly `at` on the directed link (from, to) — the
+	// same-instant same-link batch fast path. It never reorders: the
+	// event it pops is exactly the event pop would have returned.
+	popMatchDeliver(at time.Duration, from, to int) (event, bool)
+	// peekAt returns the virtual time of the next event without removing
+	// it.
+	peekAt() (time.Duration, bool)
+	// len returns the number of pending events.
+	len() int
+	// slotCap returns the total event-slot capacity currently retained by
+	// the scheduler (live buckets, free lists, heap capacity) — the
+	// Footprint numerator, in slots of eventSlotBytes each.
+	slotCap() int64
+	// stats returns cumulative scheduler-internal counters for bench
+	// output; zero value for implementations that do not track them.
+	stats() SchedStats
+}
+
+// SchedStats are scheduler-internal counters surfaced in `emucast bench`
+// columns: how often the wheel cascaded a higher-level bucket, sorted a
+// current-tick bucket, took the sorted-insert slow path, or spilled to
+// the far-future overflow heap.
+type SchedStats struct {
+	Kind       string `json:"kind"`
+	Cascades   uint64 `json:"cascades,omitempty"`
+	Sorts      uint64 `json:"sorts,omitempty"`
+	CurInserts uint64 `json:"cur_inserts,omitempty"`
+	Overflow   uint64 `json:"overflow,omitempty"`
+	MaxBucket  int    `json:"max_bucket,omitempty"`
+}
+
+// heapSched is the historical binary-heap scheduler, unchanged in
+// behaviour: container/heap over a slice ordered by (at, seq). Kept as
+// the oracle the wheel is differentially tested against.
+type heapSched struct {
+	events eventHeap
+}
+
+func (h *heapSched) push(ev *event) {
+	heap.Push(&h.events, *ev)
+}
+
+func (h *heapSched) pop() (event, bool) {
+	if len(h.events) == 0 {
+		return event{}, false
+	}
+	return heap.Pop(&h.events).(event), true
+}
+
+func (h *heapSched) popMatchDeliver(at time.Duration, from, to int) (event, bool) {
+	if len(h.events) == 0 {
+		return event{}, false
+	}
+	head := &h.events[0]
+	if head.at != at || head.kind != evDeliver || head.from != from || head.to != to {
+		return event{}, false
+	}
+	return heap.Pop(&h.events).(event), true
+}
+
+func (h *heapSched) peekAt() (time.Duration, bool) {
+	if len(h.events) == 0 {
+		return 0, false
+	}
+	return h.events[0].at, true
+}
+
+func (h *heapSched) len() int { return len(h.events) }
+
+func (h *heapSched) slotCap() int64 { return int64(cap(h.events)) }
+
+func (h *heapSched) stats() SchedStats { return SchedStats{Kind: "heap"} }
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}

@@ -94,17 +94,19 @@ func New(cfg Config, self peer.ID, gen *ids.Generator, sampler Sampler, sender S
 func (g *Gossip) Multicast(payload []byte) ids.ID {
 	id := g.gen.Next()
 	g.tracer.Multicast(g.self, id, g.clock.Now())
+	g.known.Add(id)
 	g.forward(id, payload, 0)
 	return id
 }
 
-// forward implements Forward(i, d, r): deliver, record, relay.
+// forward implements Forward(i, d, r): deliver and relay. Callers have
+// already recorded id in the known set (Multicast explicitly, LReceive
+// via its dedup Add).
 func (g *Gossip) forward(id ids.ID, payload []byte, round int) {
 	if g.deliver != nil {
 		g.deliver(id, payload)
 	}
 	g.tracer.Delivered(g.self, id, g.clock.Now())
-	g.known.Add(id)
 	if round >= g.cfg.MaxRounds {
 		return
 	}
@@ -116,9 +118,11 @@ func (g *Gossip) forward(id ids.ID, payload []byte, round int) {
 
 // LReceive implements the paper's L-Receive upcall (Fig. 2, lines 12-14):
 // forward the message unless it is a duplicate. The received round is
-// passed through unchanged; forward increments it when relaying.
+// passed through unchanged; forward increments it when relaying. The
+// dedup check and the known-set insert are one probe: Add reports
+// whether the id was new.
 func (g *Gossip) LReceive(id ids.ID, payload []byte, round int, from peer.ID) {
-	if g.known.Contains(id) {
+	if !g.known.Add(id) {
 		return
 	}
 	g.forward(id, payload, round)

@@ -6,7 +6,6 @@ import (
 
 	"emcast/internal/ids"
 	"emcast/internal/msg"
-	"emcast/internal/obs"
 	"emcast/internal/strategy"
 )
 
@@ -22,39 +21,45 @@ func TestModuleFootprint(t *testing.T) {
 		t.Fatalf("empty module footprint = %+v, want lazy/0/0", fp)
 	}
 
-	// One cached 100-byte payload (the lazy LSend path caches it):
-	// map entry 16+32+16 = 64, order slot cap 1 → 16, payload 100.
+	// One cached 100-byte payload (the lazy LSend path caches it): an
+	// 8-slot open-addressing table × (16-byte ID + 32-byte cached value)
+	// = 384, order slot cap 1 → 16, payload 100.
 	id1 := ids.ID{1}
 	f.mod.LSend(id1, make([]byte, 100), 1, 2)
 	fp = f.mod.Footprint()
-	if want := int64(64 + 16 + 100); fp.Bytes != want {
+	if want := int64(384 + 16 + 100); fp.Bytes != want {
 		t.Errorf("after 1 cached payload: bytes = %d, want %d", fp.Bytes, want)
 	}
 	if fp.Items != 1 {
 		t.Errorf("after 1 cached payload: items = %d, want 1", fp.Items)
 	}
 
-	// One received 40-byte payload: the dedup set gains one id
-	// (16+16 map + order slot cap 1 → 16 = 48); nothing else retained.
+	// One received 40-byte payload: the dedup set gains one id — its
+	// 8-slot open-addressing table (8×16 = 128) plus an order slot
+	// (cap 1 → 16), total 144; nothing else retained.
 	id2 := ids.ID{2}
 	f.mod.OnMsg(id2, make([]byte, 40), 1, 3)
 	fp = f.mod.Footprint()
-	if want := int64(64+16+100) + 48; fp.Bytes != want {
+	if want := int64(384+16+100) + 144; fp.Bytes != want {
 		t.Errorf("after 1 received payload: bytes = %d, want %d", fp.Bytes, want)
 	}
 	if fp.Items != 2 {
 		t.Errorf("after 1 received payload: items = %d, want 2", fp.Items)
 	}
 
-	// One pending request from an IHAVE: map slot 16+8+16, struct 72,
-	// one source in a cap-1 slice (4), no asked yet.
+	// One pending request from an IHAVE: the pending table allocates its
+	// 8 slots × (16-byte ID + 8-byte pointer) = 192, plus the request
+	// struct (72) and one source in a cap-1 slice (4), no asked yet.
 	id3 := ids.ID{3}
 	f.mod.OnIHave(id3, 4)
 	fp = f.mod.Footprint()
-	req := f.mod.pending[id3]
-	wantPending := int64(ids.IDSize+8+obs.MapEntryOverhead+pendingStructBytes) +
+	req, ok := f.mod.pending.Get(id3)
+	if !ok {
+		t.Fatalf("pending request for %v not found", id3)
+	}
+	wantPending := int64(8*(ids.IDSize+8)+pendingStructBytes) +
 		int64(cap(req.sources)+cap(req.asked))*4
-	if want := int64(64+16+100) + 48 + wantPending; fp.Bytes != want {
+	if want := int64(384+16+100) + 144 + wantPending; fp.Bytes != want {
 		t.Errorf("after 1 pending request: bytes = %d, want %d", fp.Bytes, want)
 	}
 	if fp.Items != 3 {
@@ -69,8 +74,9 @@ func TestModuleFootprint(t *testing.T) {
 	if f.mod.PendingRequests() != 0 {
 		t.Fatalf("pending = %d, want 0", f.mod.PendingRequests())
 	}
-	// Received set now holds 2 ids: 2*(16+16) + order cap 2 → 32 = 96.
-	if want := int64(64+16+100) + 96; fp.Bytes != want {
+	// Received set now holds 2 ids: 8-slot table (128) + order cap 2
+	// → 32, total 160. The drained pending table stays allocated (192).
+	if want := int64(384+16+100) + 160 + int64(8*(ids.IDSize+8)); fp.Bytes != want {
 		t.Errorf("after clearing: bytes = %d, want %d", fp.Bytes, want)
 	}
 }

@@ -76,12 +76,17 @@ type Module struct {
 
 	received *ids.Set // R: messages whose payload has been received
 	cache    *payloadCache
-	pending  map[ids.ID]*pendingRequest
+	pending  *ids.Map[*pendingRequest]
 
 	// locker guards re-entry from timer callbacks. The owning node sets
 	// it to its own lock so request timers and inbound frames are
 	// serialised; the default is a no-op for single-threaded use.
 	locker sync.Locker
+
+	// scratch is the reusable encode buffer for outbound frames. Safe
+	// because the module is serialised and peer.Transport.Send never
+	// retains the slice.
+	scratch []byte
 }
 
 type nopLocker struct{}
@@ -117,7 +122,7 @@ func New(cfg Config, env *peer.Env, strat strategy.Strategy, tracer trace.Tracer
 		causal:   causal,
 		received: ids.NewSet(cfg.ReceivedCapacity),
 		cache:    newPayloadCache(cfg.CacheCapacity),
-		pending:  make(map[ids.ID]*pendingRequest),
+		pending:  ids.NewMap[*pendingRequest](0),
 		locker:   nopLocker{},
 	}
 }
@@ -141,7 +146,8 @@ func (m *Module) LSend(id ids.ID, payload []byte, round int, to peer.ID) {
 		return
 	}
 	m.cache.put(id, cached{payload: payload, round: round})
-	frame := (&msg.IHave{ID: id}).Encode(nil)
+	frame := (&msg.IHave{ID: id}).Encode(m.scratch[:0])
+	m.scratch = frame
 	m.tracer.ControlSent(m.env.Self(), to, "IHAVE", len(frame))
 	if m.causal != nil {
 		m.causal.Advertised(m.env.Self(), to, id, m.env.Now())
@@ -150,7 +156,8 @@ func (m *Module) LSend(id ids.ID, payload []byte, round int, to peer.ID) {
 }
 
 func (m *Module) sendPayload(id ids.ID, payload []byte, round int, to peer.ID, eager bool) {
-	frame := (&msg.Msg{ID: id, Round: uint16(round), Payload: payload}).Encode(nil)
+	frame := (&msg.Msg{ID: id, Round: uint16(round), Payload: payload}).Encode(m.scratch[:0])
+	m.scratch = frame
 	m.tracer.PayloadSent(m.env.Self(), to, id, len(frame), eager)
 	m.env.Transport.Send(to, frame)
 }
@@ -161,10 +168,10 @@ func (m *Module) OnIHave(id ids.ID, from peer.ID) {
 	if m.received.Contains(id) {
 		return
 	}
-	req, ok := m.pending[id]
+	req, ok := m.pending.Get(id)
 	if !ok {
 		req = &pendingRequest{}
-		m.pending[id] = req
+		m.pending.Put(id, req)
 		req.sources = append(req.sources, from)
 		delay := m.strat.FirstDelay(from)
 		req.timer = m.env.Timers.AfterFunc(delay, func() { m.lockedFire(id) })
@@ -182,13 +189,13 @@ func (m *Module) lockedFire(id ids.ID) {
 
 // fireRequest issues one IWANT for id and schedules the next attempt.
 func (m *Module) fireRequest(id ids.ID) {
-	req, ok := m.pending[id]
+	req, ok := m.pending.Get(id)
 	if !ok || m.received.Contains(id) {
-		delete(m.pending, id)
+		m.pending.Delete(id)
 		return
 	}
 	if req.tries >= m.cfg.MaxRequests {
-		delete(m.pending, id)
+		m.pending.Delete(id)
 		return
 	}
 	if len(req.sources) == 0 {
@@ -199,13 +206,14 @@ func (m *Module) fireRequest(id ids.ID) {
 	}
 	src := m.strat.PickSource(req.sources)
 	if src == peer.None {
-		delete(m.pending, id)
+		m.pending.Delete(id)
 		return
 	}
 	removeSource(req, src)
 	req.asked = append(req.asked, src)
 	req.tries++
-	frame := (&msg.IWant{ID: id}).Encode(nil)
+	frame := (&msg.IWant{ID: id}).Encode(m.scratch[:0])
+	m.scratch = frame
 	m.tracer.ControlSent(m.env.Self(), src, "IWANT", len(frame))
 	if m.causal != nil {
 		m.causal.Requested(m.env.Self(), src, id, m.env.Now())
@@ -226,6 +234,12 @@ func removeSource(req *pendingRequest, src peer.ID) {
 // OnMsg handles a full payload transmission: first receipt clears pending
 // requests (the paper's Clear(i)) and is handed to the gossip layer;
 // duplicates are counted and dropped.
+//
+// The payload may alias a transport-recycled frame buffer: OnMsg copies
+// it exactly once, on first receipt, before anything downstream (the
+// gossip forward path, the payload cache, the application deliver
+// upcall) can retain it. Duplicates — the bulk of gossip traffic — never
+// pay the copy.
 func (m *Module) OnMsg(id ids.ID, payload []byte, round int, from peer.ID) {
 	if !m.received.Add(id) {
 		m.tracer.DuplicatePayload(m.env.Self(), id)
@@ -234,6 +248,7 @@ func (m *Module) OnMsg(id ids.ID, payload []byte, round int, from peer.ID) {
 		}
 		return
 	}
+	payload = append([]byte(nil), payload...)
 	if m.causal != nil {
 		m.causal.PayloadReceived(from, m.env.Self(), id, m.env.Now())
 	}
@@ -244,11 +259,11 @@ func (m *Module) OnMsg(id ids.ID, payload []byte, round int, from peer.ID) {
 }
 
 func (m *Module) clear(id ids.ID) {
-	if req, ok := m.pending[id]; ok {
+	if req, ok := m.pending.Get(id); ok {
 		if req.timer != nil {
 			req.timer.Stop()
 		}
-		delete(m.pending, id)
+		m.pending.Delete(id)
 	}
 }
 
@@ -268,14 +283,14 @@ func (m *Module) OnIWant(id ids.ID, from peer.ID) {
 func (m *Module) Received(id ids.ID) bool { return m.received.Contains(id) }
 
 // PendingRequests returns the number of messages awaiting payload.
-func (m *Module) PendingRequests() int { return len(m.pending) }
+func (m *Module) PendingRequests() int { return m.pending.Len() }
 
 // Per-entry size estimates for Footprint: the cached struct (payload
 // slice header + round) stored as a map value, and the pendingRequest
 // struct behind its map pointer (two slice headers, timer interface,
 // tries).
 const (
-	cachedEntryBytes  = 24 + 8
+	cachedEntryBytes   = 24 + 8
 	pendingStructBytes = 2*24 + 16 + 8
 )
 
@@ -288,24 +303,24 @@ const (
 // method.
 func (m *Module) Footprint() obs.Footprint {
 	bytes := m.received.FootprintBytes()
-	bytes += int64(len(m.cache.entries))*(ids.IDSize+cachedEntryBytes+obs.MapEntryOverhead) +
+	bytes += int64(m.cache.entries.TableLen())*(ids.IDSize+cachedEntryBytes) +
 		int64(cap(m.cache.order))*ids.IDSize +
 		m.cache.bytes
-	for _, req := range m.pending {
-		bytes += ids.IDSize + 8 + obs.MapEntryOverhead + pendingStructBytes +
-			int64(cap(req.sources)+cap(req.asked))*4
-	}
+	bytes += int64(m.pending.TableLen()) * (ids.IDSize + 8)
+	m.pending.Range(func(_ ids.ID, req *pendingRequest) {
+		bytes += pendingStructBytes + int64(cap(req.sources)+cap(req.asked))*4
+	})
 	return obs.Footprint{
 		Subsystem: "lazy",
 		Bytes:     bytes,
-		Items:     int64(m.received.Len() + m.cache.Len() + len(m.pending)),
+		Items:     int64(m.received.Len() + m.cache.Len() + m.pending.Len()),
 	}
 }
 
 // payloadCache is the bounded map C of Fig. 3, with FIFO eviction.
 type payloadCache struct {
 	capacity int
-	entries  map[ids.ID]cached
+	entries  *ids.Map[cached]
 	order    []ids.ID
 	head     int
 	// bytes tracks the payload bytes currently cached, maintained on
@@ -316,23 +331,25 @@ type payloadCache struct {
 func newPayloadCache(capacity int) *payloadCache {
 	return &payloadCache{
 		capacity: capacity,
-		entries:  make(map[ids.ID]cached),
+		entries:  ids.NewMap[cached](0),
 	}
 }
 
 func (c *payloadCache) put(id ids.ID, e cached) {
-	if _, ok := c.entries[id]; ok {
+	if _, ok := c.entries.Get(id); ok {
 		return
 	}
-	c.entries[id] = e
+	c.entries.Put(id, e)
 	c.bytes += int64(len(e.payload))
 	c.order = append(c.order, id)
-	for len(c.entries) > c.capacity {
+	for c.entries.Len() > c.capacity {
 		victim := c.order[c.head]
 		c.order[c.head] = ids.ID{}
 		c.head++
-		c.bytes -= int64(len(c.entries[victim].payload))
-		delete(c.entries, victim)
+		if v, ok := c.entries.Get(victim); ok {
+			c.bytes -= int64(len(v.payload))
+		}
+		c.entries.Delete(victim)
 	}
 	if c.head > len(c.order)/2 && c.head > 64 {
 		c.order = append(c.order[:0], c.order[c.head:]...)
@@ -341,9 +358,8 @@ func (c *payloadCache) put(id ids.ID, e cached) {
 }
 
 func (c *payloadCache) get(id ids.ID) (cached, bool) {
-	e, ok := c.entries[id]
-	return e, ok
+	return c.entries.Get(id)
 }
 
 // Len returns the number of cached payloads.
-func (c *payloadCache) Len() int { return len(c.entries) }
+func (c *payloadCache) Len() int { return c.entries.Len() }

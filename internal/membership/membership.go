@@ -42,6 +42,10 @@ type View struct {
 	rng   *rand.Rand
 	peers []peer.ID
 	index map[peer.ID]int
+	// perm is Sample's reused permutation scratch: the hot gossip path
+	// samples fanout peers per forwarded message, and allocating a fresh
+	// rand.Perm slice each time dominated the allocation profile.
+	perm []int
 }
 
 // NewView creates an empty view for node self.
@@ -124,8 +128,22 @@ func (v *View) Sample(f int) []peer.ID {
 	if f <= 0 {
 		return nil
 	}
+	// Inline rand.Perm into a reused scratch slice. The loop below is
+	// exactly math/rand's Perm — same Intn draws in the same order — so
+	// the rng stream and the sampled peers are bit-identical to the
+	// allocating version; only the garbage is gone.
+	n := len(v.peers)
+	if cap(v.perm) < n {
+		v.perm = make([]int, n)
+	}
+	perm := v.perm[:n]
+	for i := 0; i < n; i++ {
+		j := v.rng.Intn(i + 1)
+		perm[i] = perm[j]
+		perm[j] = i
+	}
 	out := make([]peer.ID, 0, f)
-	for _, i := range v.rng.Perm(len(v.peers))[:f] {
+	for _, i := range perm[:f] {
 		out = append(out, v.peers[i])
 	}
 	return out
@@ -167,7 +185,8 @@ func (v *View) Footprint() obs.Footprint {
 	return obs.Footprint{
 		Subsystem: "membership",
 		Bytes: int64(cap(v.peers))*peerIDBytes +
-			int64(len(v.index))*(peerIDBytes+8+obs.MapEntryOverhead),
+			int64(len(v.index))*(peerIDBytes+8+obs.MapEntryOverhead) +
+			int64(cap(v.perm))*8,
 		Items: int64(len(v.peers)),
 	}
 }

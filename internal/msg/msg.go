@@ -252,123 +252,155 @@ func encodeView(dst []byte, k Kind, view []peer.ID) []byte {
 	return dst
 }
 
-// Decode parses a wire frame. It returns one of the concrete Frame types.
-func Decode(frame []byte) (Frame, error) {
+// Parsed is a decoded frame in caller-owned storage: one Parsed value,
+// reused across Decode calls, parses any frame kind without allocating.
+// Payload aliases the input frame and View/Scores point into scratch
+// arrays retained by the Parsed — all three are valid only until the
+// next Decode call (or until the frame buffer is recycled, whichever
+// comes first). A consumer that retains any of them must copy; the hot
+// delivery path (core.Node.HandleFrame) copies the payload exactly once,
+// on first receipt, and never retains views.
+type Parsed struct {
+	Kind    Kind
+	ID      ids.ID
+	Round   uint16
+	Nonce   uint64
+	Payload []byte    // KindMsg: aliases the frame passed to Decode
+	View    []peer.ID // shuffle/reply/join-reply: reused scratch
+	Scores  []Score   // KindScores: reused scratch
+}
+
+// Decode parses a wire frame into p, reusing p's scratch storage. The
+// codec is strict: truncated or trailing bytes are errors, so malformed
+// frames are dropped at the transport boundary.
+func (p *Parsed) Decode(frame []byte) error {
 	if len(frame) == 0 {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	kind, body := Kind(frame[0]), frame[1:]
+	p.Kind = kind
 	switch kind {
 	case KindMsg:
 		if len(body) < ids.IDSize+2+4 {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
-		var m Msg
-		copy(m.ID[:], body[:ids.IDSize])
+		copy(p.ID[:], body[:ids.IDSize])
 		body = body[ids.IDSize:]
-		m.Round = binary.BigEndian.Uint16(body)
+		p.Round = binary.BigEndian.Uint16(body)
 		n := binary.BigEndian.Uint32(body[2:])
 		if n > MaxPayload {
-			return nil, ErrTooLarge
+			return ErrTooLarge
 		}
 		body = body[6:]
 		if uint32(len(body)) < n {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		if uint32(len(body)) > n {
-			return nil, ErrTrailing
+			return ErrTrailing
 		}
-		m.Payload = append([]byte(nil), body...)
-		return &m, nil
+		p.Payload = body
+		return nil
 	case KindIHave, KindIWant:
 		if len(body) < ids.IDSize {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		if len(body) > ids.IDSize {
-			return nil, ErrTrailing
+			return ErrTrailing
 		}
-		var id ids.ID
-		copy(id[:], body)
-		if kind == KindIHave {
-			return &IHave{ID: id}, nil
-		}
-		return &IWant{ID: id}, nil
+		copy(p.ID[:], body)
+		return nil
 	case KindShuffle, KindShuffleReply, KindJoinReply:
-		view, err := decodeView(body)
-		if err != nil {
-			return nil, err
-		}
-		switch kind {
-		case KindShuffle:
-			return &Shuffle{View: view}, nil
-		case KindShuffleReply:
-			return &ShuffleReply{View: view}, nil
-		default:
-			return &JoinReply{View: view}, nil
-		}
-	case KindJoin:
-		if len(body) != 0 {
-			return nil, ErrTrailing
-		}
-		return &Join{}, nil
-	case KindPing, KindPong:
-		if len(body) < 8 {
-			return nil, ErrTruncated
-		}
-		if len(body) > 8 {
-			return nil, ErrTrailing
-		}
-		nonce := binary.BigEndian.Uint64(body)
-		if kind == KindPing {
-			return &Ping{Nonce: nonce}, nil
-		}
-		return &Pong{Nonce: nonce}, nil
-	case KindScores:
 		if len(body) < 2 {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		n := int(binary.BigEndian.Uint16(body))
 		if n > MaxViewEntries {
-			return nil, ErrTooLarge
+			return ErrTooLarge
+		}
+		body = body[2:]
+		if len(body) < 4*n {
+			return ErrTruncated
+		}
+		if len(body) > 4*n {
+			return ErrTrailing
+		}
+		view := p.View[:0]
+		for i := 0; i < n; i++ {
+			view = append(view, peer.ID(binary.BigEndian.Uint32(body[4*i:])))
+		}
+		p.View = view
+		return nil
+	case KindJoin:
+		if len(body) != 0 {
+			return ErrTrailing
+		}
+		return nil
+	case KindPing, KindPong:
+		if len(body) < 8 {
+			return ErrTruncated
+		}
+		if len(body) > 8 {
+			return ErrTrailing
+		}
+		p.Nonce = binary.BigEndian.Uint64(body)
+		return nil
+	case KindScores:
+		if len(body) < 2 {
+			return ErrTruncated
+		}
+		n := int(binary.BigEndian.Uint16(body))
+		if n > MaxViewEntries {
+			return ErrTooLarge
 		}
 		body = body[2:]
 		if len(body) < 12*n {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		if len(body) > 12*n {
-			return nil, ErrTrailing
+			return ErrTrailing
 		}
-		scores := make([]Score, n)
+		scores := p.Scores[:0]
 		for i := 0; i < n; i++ {
-			scores[i] = Score{
+			scores = append(scores, Score{
 				Node:  peer.ID(binary.BigEndian.Uint32(body[12*i:])),
 				Value: math.Float64frombits(binary.BigEndian.Uint64(body[12*i+4:])),
-			}
+			})
 		}
-		return &Scores{Scores: scores}, nil
+		p.Scores = scores
+		return nil
 	default:
-		return nil, ErrKind
+		return ErrKind
 	}
 }
 
-func decodeView(body []byte) ([]peer.ID, error) {
-	if len(body) < 2 {
-		return nil, ErrTruncated
+// Decode parses a wire frame into a freshly allocated concrete Frame
+// type with fully owned storage. Convenience form of Parsed.Decode for
+// tests and cold paths; the per-frame hot path uses a reused Parsed.
+func Decode(frame []byte) (Frame, error) {
+	var p Parsed
+	if err := p.Decode(frame); err != nil {
+		return nil, err
 	}
-	n := int(binary.BigEndian.Uint16(body))
-	if n > MaxViewEntries {
-		return nil, ErrTooLarge
+	switch p.Kind {
+	case KindMsg:
+		return &Msg{ID: p.ID, Round: p.Round, Payload: append([]byte(nil), p.Payload...)}, nil
+	case KindIHave:
+		return &IHave{ID: p.ID}, nil
+	case KindIWant:
+		return &IWant{ID: p.ID}, nil
+	case KindShuffle:
+		return &Shuffle{View: append([]peer.ID(nil), p.View...)}, nil
+	case KindShuffleReply:
+		return &ShuffleReply{View: append([]peer.ID(nil), p.View...)}, nil
+	case KindJoinReply:
+		return &JoinReply{View: append([]peer.ID(nil), p.View...)}, nil
+	case KindJoin:
+		return &Join{}, nil
+	case KindPing:
+		return &Ping{Nonce: p.Nonce}, nil
+	case KindPong:
+		return &Pong{Nonce: p.Nonce}, nil
+	default: // KindScores: the switch is exhaustive over parseable kinds
+		return &Scores{Scores: append([]Score(nil), p.Scores...)}, nil
 	}
-	body = body[2:]
-	if len(body) < 4*n {
-		return nil, ErrTruncated
-	}
-	if len(body) > 4*n {
-		return nil, ErrTrailing
-	}
-	view := make([]peer.ID, n)
-	for i := 0; i < n; i++ {
-		view[i] = peer.ID(binary.BigEndian.Uint32(body[4*i:]))
-	}
-	return view, nil
 }

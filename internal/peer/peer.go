@@ -24,8 +24,11 @@ const None ID = ^ID(0)
 // asynchronous: delivery may fail silently (paper assumes an unreliable
 // point-to-point service). Implementations must be safe for concurrent use.
 type Transport interface {
-	// Send transmits a frame to the destination node. The frame must not
-	// be retained or modified by the caller after Send returns.
+	// Send transmits a frame to the destination node. Implementations
+	// must not retain the frame slice after Send returns (they copy or
+	// fully serialise it first), so callers may reuse the buffer for the
+	// next encode — protocol layers keep per-instance scratch buffers on
+	// the strength of this.
 	Send(to ID, frame []byte)
 	// Local returns the identifier of this node.
 	Local() ID

@@ -161,10 +161,10 @@ func (r *Runner) collect() Result {
 		}
 	}
 
-	loads := make([]float64, 0, len(cp.Links))
-	for _, l := range cp.Links {
+	loads := make([]float64, 0, cp.Links.Len())
+	cp.Links.Range(func(_ trace.Link, l trace.LinkLoad) {
 		loads = append(loads, float64(l.Payloads))
-	}
+	})
 	res.Top5Share = stats.TopShare(loads, 0.05)
 
 	res.JoinerCoverage = r.joinerCoverage(msgs)
@@ -337,12 +337,12 @@ func MessageRecovery(msgs []trace.MsgStats, liveSet map[peer.ID]bool, event, to 
 // run. This is the emergent-structure metric evaluated over one phase of
 // a run.
 func LinkTopShare(prev, cur trace.Checkpoint, frac float64) float64 {
-	loads := make([]float64, 0, len(cur.Links))
-	for l, load := range cur.Links {
-		if d := load.Payloads - prev.Links[l].Payloads; d > 0 {
+	loads := make([]float64, 0, cur.Links.Len())
+	cur.Links.Range(func(l trace.Link, load trace.LinkLoad) {
+		if d := load.Payloads - prev.Links.Get(l).Payloads; d > 0 {
 			loads = append(loads, float64(d))
 		}
-	}
+	})
 	return stats.TopShare(loads, frac)
 }
 
@@ -423,8 +423,8 @@ func (res Result) String() string {
 // coordinates, for plotting the Fig. 4 emergent-structure graphs.
 func (r *Runner) LinkLoads() []LinkUsage {
 	cp := r.tracer.Checkpoint()
-	out := make([]LinkUsage, 0, len(cp.Links))
-	for l, load := range cp.Links {
+	out := make([]LinkUsage, 0, cp.Links.Len())
+	cp.Links.Range(func(l trace.Link, load trace.LinkLoad) {
 		out = append(out, LinkUsage{
 			A: l.A, B: l.B,
 			AX: r.matrix.Coords[l.A][0], AY: r.matrix.Coords[l.A][1],
@@ -432,7 +432,7 @@ func (r *Runner) LinkLoads() []LinkUsage {
 			Payloads: load.Payloads,
 			Bytes:    load.Bytes,
 		})
-	}
+	})
 	return out
 }
 

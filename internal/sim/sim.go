@@ -129,6 +129,12 @@ type Config struct {
 	// Loss is the network frame loss probability.
 	Loss float64
 
+	// HeapScheduler runs the emulator on the legacy binary-heap event
+	// scheduler instead of the timer wheel. Results are byte-identical
+	// either way (the differential and golden tests pin it); the switch
+	// exists as an escape hatch and for A/B benchmarking.
+	HeapScheduler bool
+
 	// Topology overrides the generated topology parameters; nil uses
 	// DefaultParams with Clients=Nodes. Tests use scaled-down router
 	// populations for speed.
@@ -274,16 +280,30 @@ func New(cfg Config) *Runner {
 		matrix.SetBudget(cfg.MatrixBudget)
 	}
 
+	sched := emunet.SchedulerWheel
+	if cfg.HeapScheduler {
+		sched = emunet.SchedulerHeap
+	}
 	net := emunet.New(total, func(from, to int) time.Duration {
 		return matrix.Latency(from, to)
 	}, emunet.Config{
-		Loss: cfg.Loss,
-		Seed: cfg.Seed ^ 0x5ca1ab1e,
+		Loss:      cfg.Loss,
+		Seed:      cfg.Seed ^ 0x5ca1ab1e,
+		Scheduler: sched,
+		// Protocol handlers never retain raw frames (core.Node decodes
+		// into per-node scratch and the lazy layer copies payloads on
+		// first receipt), so the runner opts into the frame arena.
+		PooledFrames: true,
 	})
 
 	var tracer trace.Reader = trace.NewStreaming()
 	if cfg.FullTrace {
 		tracer = trace.NewCollector()
+	}
+	// Presize per-message aggregates to the known population so the
+	// per-delivery fold stops growing slices mid-run.
+	if p, ok := tracer.(interface{ Presize(int) }); ok {
+		p.Presize(total)
 	}
 	r := &Runner{
 		cfg:        cfg,

@@ -1,7 +1,6 @@
 package topology
 
 import (
-	"container/heap"
 	"container/list"
 	"fmt"
 	"math"
@@ -67,6 +66,7 @@ type Matrix struct {
 	hits       int64  // row lookups served from the cache
 	misses     int64  // row lookups that ran a Dijkstra
 	evictions  int64  // rows dropped by the byte budget
+	scratch    dijkstraScratch
 }
 
 // ClientMatrix returns the lazily computed shortest-path latency (Dijkstra)
@@ -178,7 +178,7 @@ func (m *Matrix) Rows() int { return len(m.stubNode) }
 // state and the per-attach-router bookkeeping (row slice headers, LRU
 // element pointers, ever-computed flags, list.Element nodes).
 const (
-	perClientBytes = 4 + 4 + 16     // stubOf + accessNs + Coords
+	perClientBytes = 4 + 4 + 16            // stubOf + accessNs + Coords
 	perRouterBytes = 8 + 2*24 + 2 + 8 + 48 // stubNode + lat/hops headers + ever flags + lruElem + list node
 )
 
@@ -199,14 +199,19 @@ func (m *Matrix) Footprint() obs.Footprint {
 }
 
 // latRowLocked returns the latency row of attach router s, computing it on
-// first use (or after eviction) and marking it most recently used.
+// first use (or after eviction) and marking it most recently used. With no
+// byte budget nothing is ever evicted, so the per-hit LRU bookkeeping — a
+// list move per lookup, right on the emulator's per-packet path — is
+// skipped entirely.
 func (m *Matrix) latRowLocked(s int) []uint32 {
 	if m.lat[s] == nil {
 		m.misses++
 		m.computeRowLocked(s, false)
 	} else {
 		m.hits++
-		m.touchLocked(s)
+		if m.budget > 0 {
+			m.touchLocked(s)
+		}
 	}
 	return m.lat[s]
 }
@@ -219,7 +224,9 @@ func (m *Matrix) hopRowLocked(s int) []uint16 {
 		m.computeRowLocked(s, true)
 	} else {
 		m.hits++
-		m.touchLocked(s)
+		if m.budget > 0 {
+			m.touchLocked(s)
+		}
 	}
 	return m.hops[s]
 }
@@ -232,7 +239,7 @@ func (m *Matrix) computeRowLocked(s int, withHops bool) {
 	if (m.lat[s] == nil && m.latEver[s]) || (withHops && m.hops[s] == nil && m.hopsEver[s]) {
 		m.recomputes++
 	}
-	distNs, hopCnt := m.net.routerDijkstra(m.stubNode[s])
+	distNs, hopCnt := m.net.routerDijkstra(m.stubNode[s], &m.scratch)
 	n := len(m.stubNode)
 	if m.lat[s] == nil {
 		row := make([]uint32, n)
@@ -395,26 +402,51 @@ func quantizeHops(h int32) uint16 {
 	return uint16(h)
 }
 
+// dijkstraScratch holds the working arrays one router-level Dijkstra
+// needs, reused across rows so a whole-matrix fill allocates them once
+// instead of three node-sized slices plus heap churn per row (at 10k
+// clients that churn was hundreds of megabytes of garbage).
+type dijkstraScratch struct {
+	distNs []int64
+	hops   []int32
+	done   []bool
+	pq     []heapItem
+}
+
 // routerDijkstra returns shortest-path distance in nanoseconds and hop
 // counts from src to every node, never routing through client leaves. The
-// heap orders items by (distance, hops) lexicographically and relaxations
-// use the same order, so hop counts on latency ties are the minimum over
-// all shortest paths regardless of processing order — a recomputed row is
-// byte-equal to the evicted original.
-func (n *Network) routerDijkstra(src int) ([]int64, []int32) {
+// returned slices alias the scratch and are valid until the next call.
+//
+// The priority queue orders items by (distance, hops) lexicographically
+// and relaxations use the same strict order, so hop counts on latency
+// ties are the minimum over all shortest paths regardless of processing
+// order — a recomputed row is byte-equal to the evicted original, and
+// the result is independent of the heap implementation (the reference
+// container/heap Dijkstra in matrix_test pins this).
+func (n *Network) routerDijkstra(src int, sc *dijkstraScratch) ([]int64, []int32) {
 	const inf = math.MaxInt64
-	distNs := make([]int64, len(n.Nodes))
-	hops := make([]int32, len(n.Nodes))
-	done := make([]bool, len(n.Nodes))
+	if cap(sc.distNs) < len(n.Nodes) {
+		sc.distNs = make([]int64, len(n.Nodes))
+		sc.hops = make([]int32, len(n.Nodes))
+		sc.done = make([]bool, len(n.Nodes))
+	}
+	distNs := sc.distNs[:len(n.Nodes)]
+	hops := sc.hops[:len(n.Nodes)]
+	done := sc.done[:len(n.Nodes)]
 	for i := range distNs {
 		distNs[i] = inf
 		hops[i] = -1
+		done[i] = false
 	}
 	distNs[src] = 0
 	hops[src] = 0
-	pq := &nodeHeap{{node: src}}
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(heapItem)
+	pq := append(sc.pq[:0], heapItem{node: src})
+	for len(pq) > 0 {
+		it := pq[0]
+		last := len(pq) - 1
+		pq[0] = pq[last]
+		pq = pq[:last]
+		siftDown(pq)
 		if done[it.node] {
 			continue
 		}
@@ -428,11 +460,55 @@ func (n *Network) routerDijkstra(src int) ([]int64, []int32) {
 			if nd < distNs[e.To] || (nd == distNs[e.To] && nh < hops[e.To]) {
 				distNs[e.To] = nd
 				hops[e.To] = nh
-				heap.Push(pq, heapItem{node: e.To, dist: nd, hops: nh})
+				pq = append(pq, heapItem{node: e.To, dist: nd, hops: nh})
+				siftUp(pq)
 			}
 		}
 	}
+	sc.pq = pq[:0]
 	return distNs, hops
+}
+
+// siftUp restores the heap invariant after appending to the tail;
+// siftDown after replacing the root. Both order by heapLess — manual and
+// monomorphic, where container/heap paid an interface boxing allocation
+// per Push/Pop and dynamic dispatch per comparison.
+func siftUp(h []heapItem) {
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !heapLess(&h[i], &h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func siftDown(h []heapItem) {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && heapLess(&h[l], &h[small]) {
+			small = l
+		}
+		if r < len(h) && heapLess(&h[r], &h[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}
+
+func heapLess(a, b *heapItem) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.hops < b.hops
 }
 
 type heapItem struct {

@@ -114,7 +114,7 @@ func TestStreamingLazyPathCounters(t *testing.T) {
 		t.Fatalf("request-miss delta = %d, want 1", d)
 	}
 	// The lazy payload crossed 0–1: the link load must show it.
-	if l := after.Links[MakeLink(0, 1)]; l.Payloads != 1 || l.Bytes != 128 {
+	if l := after.Links.Get(MakeLink(0, 1)); l.Payloads != 1 || l.Bytes != 128 {
 		t.Fatalf("link load = %+v, want 1 payload / 128 bytes", l)
 	}
 }

@@ -26,12 +26,16 @@ const (
 	spanBytes = 16
 )
 
-// footprintBytes charges the shared counterCore state: per-link loads and
-// per-node payload counts. The scalar Counters live inline in the
-// collector struct and are not charged.
+// footprintBytes charges the shared counterCore state: the open-addressing
+// link table (8-byte key word plus inline LinkLoad per slot, empty slots
+// included — the table is allocated whole) and the dense per-sender count
+// slice. The scalar Counters live inline in the collector struct and are
+// not charged.
 func (c *counterCore) footprintBytes() int64 {
-	return int64(len(c.links))*(8+8+obs.MapEntryOverhead+linkLoadBytes) +
-		int64(len(c.payloadByNode))*(4+8+obs.MapEntryOverhead)
+	return int64(cap(c.links.keys))*8 +
+		int64(cap(c.links.vals))*linkLoadBytes +
+		int64(cap(c.payloadByNode))*8 +
+		int64(len(c.payloadByNodeOOB))*(4+8+obs.MapEntryOverhead)
 }
 
 // msgStatsFootprint charges one message aggregate: the fixed struct plus
@@ -52,17 +56,17 @@ func (s *Streaming) Footprint() obs.Footprint {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	bytes := int64(cap(s.order))*ids.IDSize +
-		int64(len(s.messages))*(ids.IDSize+8+obs.MapEntryOverhead) +
-		int64(len(s.pendingPayloads))*(ids.IDSize+8+obs.MapEntryOverhead) +
+		int64(s.messages.TableLen())*(ids.IDSize+8) +
+		int64(s.pendingPayloads.TableLen())*(ids.IDSize+8) +
 		int64(cap(s.retain))*spanBytes +
 		s.core.footprintBytes()
-	for _, m := range s.messages {
+	s.messages.Range(func(_ ids.ID, m *MsgStats) {
 		bytes += msgStatsFootprint(m)
-	}
+	})
 	return obs.Footprint{
 		Subsystem: "trace",
 		Bytes:     bytes,
-		Items:     int64(len(s.messages)),
+		Items:     int64(s.messages.Len()),
 	}
 }
 

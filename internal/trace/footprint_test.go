@@ -27,9 +27,10 @@ func TestCollectorFootprint(t *testing.T) {
 		t.Fatalf("items = %d, want 1", fp.Items)
 	}
 	// Hand arithmetic: order cap 1 → 16; messages map 1×(16+8+16) = 40;
-	// payloadByMsg 1×40; core: 1 link ×(8+8+16+16) = 48, 1 node ×28;
-	// Message struct 56 + deliveries cap 2 ×16 = 88.
-	want := int64(16 + 40 + 40 + 48 + 28 + messageBytes + 2*deliveryBytes)
+	// payloadByMsg 1×40; core: 8-slot link table (8×8 keys + 8×16 vals =
+	// 192) + sender-count slice cap 1 → 8; Message struct 56 + deliveries
+	// cap 2 ×16 = 88.
+	want := int64(16 + 40 + 40 + 192 + 8 + messageBytes + 2*deliveryBytes)
 	if fp.Bytes != want {
 		t.Fatalf("bytes = %d, want %d", fp.Bytes, want)
 	}
@@ -55,11 +56,12 @@ func TestStreamingFootprint(t *testing.T) {
 	if fp.Items != 1 {
 		t.Fatalf("items = %d, want 1", fp.Items)
 	}
-	// Hand arithmetic: order cap 1 → 16; messages map 1×40; retain span
-	// cap 1 → 16; core link 48 + node 28; MsgStats 120 + one non-origin
-	// latency (cap 1 → 8) + one bitset word (cap 1 → 8) + two retained
-	// completions (cap 2 → 32).
-	want := int64(16 + 40 + 16 + 48 + 28 + msgStatsBytes + 8 + 8 + 2*deliveryBytes)
+	// Hand arithmetic: order cap 1 → 16; 8-slot messages table ×
+	// (16-byte ID + 8-byte pointer) = 192; retain span cap 1 → 16; core:
+	// 8-slot link table (192) + sender-count slice cap 1 → 8; MsgStats
+	// 120 + one non-origin latency (cap 1 → 8) + one bitset word (cap 1
+	// → 8) + two retained completions (cap 2 → 32).
+	want := int64(16 + 192 + 16 + 192 + 8 + msgStatsBytes + 8 + 8 + 2*deliveryBytes)
 	if fp.Bytes != want {
 		t.Fatalf("bytes = %d, want %d", fp.Bytes, want)
 	}

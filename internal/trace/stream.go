@@ -31,7 +31,52 @@ type Counters struct {
 // the whole delivery trace at every edge.
 type Checkpoint struct {
 	Counters
-	Links map[Link]LinkLoad
+	Links LinkLoads
+}
+
+// LinkLoads is a checkpoint's per-link load snapshot: a verbatim copy of
+// the collector's open-addressing link table, taken with two bulk array
+// copies instead of a per-entry map rebuild — the difference between a
+// window boundary costing microseconds and costing a map's worth of
+// hashing at every phase edge. The copied arrays keep the table layout,
+// so Get probes exactly like the live table; iteration order is fixed by
+// the table (deterministic for a deterministic event sequence).
+type LinkLoads struct {
+	keys  []uint64
+	vals  []LinkLoad
+	count int
+}
+
+// Len returns the number of links with recorded load.
+func (l LinkLoads) Len() int { return l.count }
+
+// Get returns the load for link, zero when the link never carried a
+// payload.
+func (l LinkLoads) Get(link Link) LinkLoad {
+	if l.keys == nil {
+		return LinkLoad{}
+	}
+	key := packLink(link.A, link.B)
+	k := key + 1
+	mask := uint64(len(l.keys) - 1)
+	i := mix64(key) & mask
+	for l.keys[i] != 0 {
+		if l.keys[i] == k {
+			return l.vals[i]
+		}
+		i = (i + 1) & mask
+	}
+	return LinkLoad{}
+}
+
+// Range calls fn for every (link, load) pair in table order.
+func (l LinkLoads) Range(fn func(Link, LinkLoad)) {
+	for i, k := range l.keys {
+		if k != 0 {
+			p := k - 1
+			fn(Link{A: peer.ID(p >> 32), B: peer.ID(p & 0xffffffff)}, l.vals[i])
+		}
+	}
 }
 
 // bitset is a dense per-node bit vector, grown on demand.
@@ -159,16 +204,147 @@ type span struct {
 // byte-identical streaming/full equivalence depends on that. All methods
 // assume the owning collector's mutex is held.
 type counterCore struct {
-	links         map[Link]*LinkLoad
-	payloadByNode map[peer.ID]int
-	counters      Counters
+	// links maps the normalised endpoint pair packed into a uint64
+	// (A<<32|B) to its load, via an open-addressing table with inline
+	// values: this is touched once per payload transmission, and the
+	// previous runtime map paid a hash plus a pointer chase per event
+	// and a full map walk per checkpoint. Checkpoint unpacks the packed
+	// keys back to the exported Link form.
+	links linkTable
+	// payloadByNode counts payload transmissions per sender. Senders are
+	// dense small indices, so the counts live in a slice indexed by
+	// peer.ID; sentinel-range IDs (peer.None) fall back to a lazily
+	// allocated map so semantics stay exact for any input.
+	payloadByNode    []int
+	payloadByNodeOOB map[peer.ID]int
+	counters         Counters
 }
 
 func newCounterCore() counterCore {
-	return counterCore{
-		links:         make(map[Link]*LinkLoad),
-		payloadByNode: make(map[peer.ID]int),
+	return counterCore{}
+}
+
+// payloadByNodeMax bounds the dense per-sender slice: IDs at or above it
+// (the peer.None sentinel range) are counted in the fallback map instead
+// of growing the slice.
+const payloadByNodeMax = 1 << 21
+
+func (c *counterCore) bumpNodePayload(from peer.ID) {
+	if from < payloadByNodeMax {
+		if int(from) >= len(c.payloadByNode) {
+			if int(from) < cap(c.payloadByNode) {
+				// Spare capacity from an earlier growth: the slots
+				// beyond len are still zero, so extending is free.
+				c.payloadByNode = c.payloadByNode[:int(from)+1]
+			} else {
+				want := int(from) + 1
+				if grown := 2 * cap(c.payloadByNode); grown > want {
+					want = grown
+				}
+				next := make([]int, int(from)+1, want)
+				copy(next, c.payloadByNode)
+				c.payloadByNode = next
+			}
+		}
+		c.payloadByNode[from]++
+		return
 	}
+	if c.payloadByNodeOOB == nil {
+		c.payloadByNodeOOB = make(map[peer.ID]int)
+	}
+	c.payloadByNodeOOB[from]++
+}
+
+// linkTable is an open-addressing linear-probe map from packed link to
+// LinkLoad. Values are stored inline — bumping a counter is one probe and
+// two adds, with no per-link allocation — and iteration is a linear array
+// scan, which makes the per-window checkpoint walk cache-friendly. Keys
+// are stored plus one so the zero word marks an empty slot (the packed
+// pair of two peer.None endpoints would wrap, but None never names a real
+// sender or receiver of a payload).
+type linkTable struct {
+	keys  []uint64
+	vals  []LinkLoad
+	count int
+}
+
+const linkTableMin = 8
+
+// mix64 is a splitmix64-style finalizer: packed link keys are dense small
+// integers, so unlike message-ID folds they need real mixing before
+// masking into the table.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// load returns the (inserted-if-absent) load cell for key. The returned
+// pointer is only valid until the next load call — a grow moves the
+// cells.
+func (t *linkTable) load(key uint64) *LinkLoad {
+	if t.keys == nil {
+		t.keys = make([]uint64, linkTableMin)
+		t.vals = make([]LinkLoad, linkTableMin)
+	}
+	k := key + 1
+	mask := uint64(len(t.keys) - 1)
+	i := mix64(key) & mask
+	for t.keys[i] != 0 {
+		if t.keys[i] == k {
+			return &t.vals[i]
+		}
+		i = (i + 1) & mask
+	}
+	if (t.count+1)*4 > len(t.keys)*3 {
+		t.grow()
+		mask = uint64(len(t.keys) - 1)
+		i = mix64(key) & mask
+		for t.keys[i] != 0 {
+			i = (i + 1) & mask
+		}
+	}
+	t.keys[i] = k
+	t.count++
+	return &t.vals[i]
+}
+
+func (t *linkTable) grow() {
+	oldKeys, oldVals := t.keys, t.vals
+	t.keys = make([]uint64, 2*len(oldKeys))
+	t.vals = make([]LinkLoad, 2*len(oldVals))
+	mask := uint64(len(t.keys) - 1)
+	for j, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		i := mix64(k-1) & mask
+		for t.keys[i] != 0 {
+			i = (i + 1) & mask
+		}
+		t.keys[i] = k
+		t.vals[i] = oldVals[j]
+	}
+}
+
+// forEach calls fn for every (packed key, load) pair in table order.
+func (t *linkTable) forEach(fn func(key uint64, load *LinkLoad)) {
+	for i, k := range t.keys {
+		if k != 0 {
+			fn(k-1, &t.vals[i])
+		}
+	}
+}
+
+// packLink normalises and packs a link's endpoints into the map key.
+func packLink(a, b peer.ID) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(b)
 }
 
 func (c *counterCore) deliveredEvent() {
@@ -176,15 +352,10 @@ func (c *counterCore) deliveredEvent() {
 }
 
 func (c *counterCore) payloadEvent(from, to peer.ID, bytes int, eager bool) {
-	l := MakeLink(from, to)
-	load, ok := c.links[l]
-	if !ok {
-		load = &LinkLoad{}
-		c.links[l] = load
-	}
+	load := c.links.load(packLink(from, to))
 	load.Payloads++
 	load.Bytes += bytes
-	c.payloadByNode[from]++
+	c.bumpNodePayload(from)
 	c.counters.TotalPayloads++
 	c.counters.PayloadBytes += bytes
 	if eager {
@@ -208,19 +379,24 @@ func (c *counterCore) requestMissEvent() {
 }
 
 func (c *counterCore) checkpointLocked() Checkpoint {
-	cp := Checkpoint{
+	return Checkpoint{
 		Counters: c.counters,
-		Links:    make(map[Link]LinkLoad, len(c.links)),
+		Links: LinkLoads{
+			keys:  append([]uint64(nil), c.links.keys...),
+			vals:  append([]LinkLoad(nil), c.links.vals...),
+			count: c.links.count,
+		},
 	}
-	for l, load := range c.links {
-		cp.Links[l] = *load
-	}
-	return cp
 }
 
 func (c *counterCore) nodePayloadsLocked() map[peer.ID]int {
 	out := make(map[peer.ID]int, len(c.payloadByNode))
 	for n, k := range c.payloadByNode {
+		if k != 0 {
+			out[peer.ID(n)] = k
+		}
+	}
+	for n, k := range c.payloadByNodeOOB {
 		out[n] = k
 	}
 	return out
@@ -243,13 +419,18 @@ func (c *counterCore) nodePayloadsLocked() map[peer.ID]int {
 type Streaming struct {
 	mu sync.Mutex
 
-	messages map[ids.ID]*MsgStats
+	messages *ids.Map[*MsgStats]
 	order    []ids.ID
 	// pendingPayloads holds payload counts for messages not yet seen
 	// (a forwarded payload can be traced before the origin's multicast on
 	// a real network); they are absorbed when the message appears.
-	pendingPayloads map[ids.ID]int
+	pendingPayloads *ids.Map[int]
 	retain          []span
+
+	// hint is the expected population (Presize); when set, per-message
+	// aggregates preallocate to their final size so the hot-loop fold
+	// stops growing slices per delivery.
+	hint int
 
 	core counterCore
 }
@@ -257,10 +438,34 @@ type Streaming struct {
 // NewStreaming returns an empty streaming collector.
 func NewStreaming() *Streaming {
 	return &Streaming{
-		messages:        make(map[ids.ID]*MsgStats),
-		pendingPayloads: make(map[ids.ID]int),
+		messages:        ids.NewMap[*MsgStats](0),
+		pendingPayloads: ids.NewMap[int](0),
 		core:            newCounterCore(),
 	}
+}
+
+// Presize tells the collector the expected node population. Message
+// aggregates created afterwards preallocate their latency samples and
+// delivered bitset to that size, so the per-delivery fold in the
+// simulator's hot loop is pure arithmetic — no append growth, no
+// allocation (pinned by TestStreamingDeliveredZeroAlloc). Purely a
+// capacity hint: aggregates still grow past it if more nodes deliver,
+// and reported values are byte-identical with or without it.
+func (s *Streaming) Presize(nodes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hint = nodes
+}
+
+// newMsg allocates a message aggregate, presized when a population hint
+// is set.
+func (s *Streaming) newMsg(id ids.ID, origin peer.ID, sentAt time.Duration) *MsgStats {
+	m := &MsgStats{ID: id, Origin: origin, SentAt: sentAt}
+	if s.hint > 0 {
+		m.Latencies = make([]float64, 0, s.hint)
+		m.delivered.words = make([]uint64, (s.hint+63)/64)
+	}
+	return m
 }
 
 // RetainCompletions marks the virtual-time span [from, to): messages
@@ -288,12 +493,14 @@ func (s *Streaming) retained(at time.Duration) bool {
 // origin, SentAt -1) when the multicast was never traced — the full
 // Collector's convention for partial traces.
 func (s *Streaming) message(id ids.ID) *MsgStats {
-	m, ok := s.messages[id]
+	m, ok := s.messages.Get(id)
 	if !ok {
-		m = &MsgStats{ID: id, Origin: peer.None, SentAt: -1}
-		m.Payloads += s.pendingPayloads[id]
-		delete(s.pendingPayloads, id)
-		s.messages[id] = m
+		m = s.newMsg(id, peer.None, -1)
+		if pending, ok := s.pendingPayloads.Get(id); ok {
+			m.Payloads += pending
+			s.pendingPayloads.Delete(id)
+		}
+		s.messages.Put(id, m)
 		s.order = append(s.order, id)
 	}
 	return m
@@ -303,16 +510,18 @@ func (s *Streaming) message(id ids.ID) *MsgStats {
 func (s *Streaming) Multicast(origin peer.ID, id ids.ID, at time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.messages[id]; ok {
+	if _, ok := s.messages.Get(id); ok {
 		return
 	}
-	m := &MsgStats{ID: id, Origin: origin, SentAt: at}
-	m.Payloads += s.pendingPayloads[id]
-	delete(s.pendingPayloads, id)
+	m := s.newMsg(id, origin, at)
+	if pending, ok := s.pendingPayloads.Get(id); ok {
+		m.Payloads += pending
+		s.pendingPayloads.Delete(id)
+	}
 	if s.retained(at) {
 		m.completions = []Delivery{}
 	}
-	s.messages[id] = m
+	s.messages.Put(id, m)
 	s.order = append(s.order, id)
 }
 
@@ -339,10 +548,11 @@ func (s *Streaming) PayloadSent(from, to peer.ID, id ids.ID, bytes int, eager bo
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.core.payloadEvent(from, to, bytes, eager)
-	if m, ok := s.messages[id]; ok {
+	if m, ok := s.messages.Get(id); ok {
 		m.Payloads++
 	} else {
-		s.pendingPayloads[id]++
+		pending, _ := s.pendingPayloads.Get(id)
+		s.pendingPayloads.Put(id, pending+1)
 	}
 }
 
@@ -391,7 +601,8 @@ func (s *Streaming) CheckpointAndMessages() (Checkpoint, []MsgStats) {
 	defer s.mu.Unlock()
 	out := make([]MsgStats, 0, len(s.order))
 	for _, id := range s.order {
-		m := *s.messages[id]
+		ptr, _ := s.messages.Get(id)
+		m := *ptr
 		m.Latencies = append([]float64(nil), m.Latencies...)
 		m.delivered = bitset{words: append([]uint64(nil), m.delivered.words...)}
 		if m.completions != nil {
@@ -408,7 +619,8 @@ func (s *Streaming) MessageStats() []MsgStats {
 	defer s.mu.Unlock()
 	out := make([]MsgStats, 0, len(s.order))
 	for _, id := range s.order {
-		out = append(out, *s.messages[id])
+		m, _ := s.messages.Get(id)
+		out = append(out, *m)
 	}
 	return out
 }

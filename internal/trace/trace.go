@@ -213,7 +213,7 @@ func (c *Collector) Snapshot() Snapshot {
 	defer c.mu.Unlock()
 	s := Snapshot{
 		Messages:       make([]Message, 0, len(c.order)),
-		Links:          make(map[Link]LinkLoad, len(c.core.links)),
+		Links:          make(map[Link]LinkLoad, c.core.links.count),
 		PayloadByNode:  c.core.nodePayloadsLocked(),
 		PayloadByMsg:   make(map[ids.ID]int, len(c.payloadByMsg)),
 		TotalPayloads:  c.core.counters.TotalPayloads,
@@ -232,9 +232,9 @@ func (c *Collector) Snapshot() Snapshot {
 		cp.Deliveries = append([]Delivery(nil), m.Deliveries...)
 		s.Messages = append(s.Messages, cp)
 	}
-	for l, load := range c.core.links {
-		s.Links[l] = *load
-	}
+	c.core.links.forEach(func(l uint64, load *LinkLoad) {
+		s.Links[Link{A: peer.ID(l >> 32), B: peer.ID(l & 0xffffffff)}] = *load
+	})
 	for id, k := range c.payloadByMsg {
 		s.PayloadByMsg[id] = k
 	}
