@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"emcast/internal/live"
+)
+
+// runChaos implements the `emucast chaos` subcommand: a live-fleet soak
+// under injected faults. A fleet of real TCP peers on loopback takes a
+// baseline delivery wave, then runs under link drop + a crash wave + a
+// transport stall, heals, and must return to 100% delivery coverage
+// within the heal window — with zero leaked goroutines after a graceful
+// shutdown. Exits non-zero when any recovery invariant is violated.
+func runChaos(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("emucast chaos", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		nodes       = fs.Int("nodes", 32, "fleet size")
+		seed        = fs.Int64("seed", 1, "seed for victim selection and the fault injector")
+		strategy    = fs.String("strategy", "eager", "gossip strategy (eager, lazy, flat)")
+		drop        = fs.Float64("drop", 0.3, "injected per-frame drop probability while faults are active")
+		crashes     = fs.Int("crashes", 3, "crash wave size")
+		stall       = fs.Duration("stall", 10*time.Second, "transport stall injected on one survivor (0 disables)")
+		warmup      = fs.Duration("warmup", 2*time.Second, "settling time before the baseline wave")
+		waveMsgs    = fs.Int("wave-msgs", 5, "multicasts per coverage wave")
+		waveTimeout = fs.Duration("wave-timeout", 15*time.Second, "deadline for the baseline and fault waves")
+		healWindow  = fs.Duration("heal-window", 30*time.Second, "deadline for coverage to return to 100% after faults clear")
+		timelinePth = fs.String("timeline", "", "write the JSONL recovery timeline to this file")
+		jsonPath    = fs.String("json", "", "write the chaos result JSON to this file")
+		quiet       = fs.Bool("q", false, "suppress progress logging on stderr")
+	)
+	var ofl obsFlags
+	ofl.register(fs)
+	fs.Usage = func() {
+		fmt.Fprintf(errOut, "usage: emucast chaos [flags]\n"+
+			"Runs a live TCP fleet under injected faults (link drop, crash wave,\n"+
+			"transport stall) and asserts it recovers: 100%% delivery coverage within\n"+
+			"the heal window, zero leaked goroutines after graceful shutdown.\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("chaos takes no positional arguments")
+	}
+
+	plane, err := ofl.open(errOut)
+	if err != nil {
+		return err
+	}
+	defer plane.close()
+
+	cfg := live.ChaosConfig{
+		Nodes:       *nodes,
+		Seed:        *seed,
+		Strategy:    *strategy,
+		Drop:        *drop,
+		Crashes:     *crashes,
+		Stall:       *stall,
+		Warmup:      *warmup,
+		WaveMsgs:    *waveMsgs,
+		WaveTimeout: *waveTimeout,
+		HealWindow:  *healWindow,
+		Obs:         plane.reg,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...interface{}) {
+			fmt.Fprintf(errOut, format+"\n", args...)
+		}
+	}
+	if *timelinePth != "" {
+		f, err := os.Create(*timelinePth)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.Timeline = f
+	}
+
+	res, err := live.RunChaos(cfg)
+	if err != nil {
+		return err
+	}
+
+	enc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s\n", enc)
+	if *jsonPath != "" {
+		if err := os.WriteFile(*jsonPath, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+
+	// The recovery invariants, each reported before the exit status.
+	switch {
+	case res.BaselineCoverage < 1:
+		return fmt.Errorf("chaos: baseline coverage %.3f < 1 — fleet unhealthy before faults", res.BaselineCoverage)
+	case !res.Recovered:
+		return fmt.Errorf("chaos: coverage %.3f after %v heal window — fleet did not recover", res.HealCoverage, *healWindow)
+	case res.Leaked > 0:
+		return fmt.Errorf("chaos: %d goroutines leaked (start %d, end %d)", res.Leaked, res.GoroutinesStart, res.GoroutinesEnd)
+	}
+	if !*quiet {
+		fmt.Fprintf(errOut, "chaos: recovered in %v, %d reconnects, %d frames lost to faults, no leaks\n",
+			res.HealTime.Round(time.Millisecond), res.Transport.Reconnects, res.Transport.LostFault)
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestChaosCommandSmoke runs a tiny soak end to end through the CLI:
+// result JSON on stdout, timeline JSONL on disk, exit success — the
+// 60-second CI smoke in miniature.
+func TestChaosCommandSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak takes several seconds")
+	}
+	dir := t.TempDir()
+	timeline := filepath.Join(dir, "timeline.jsonl")
+	resPath := filepath.Join(dir, "result.json")
+	var out, errOut bytes.Buffer
+	err := run([]string{
+		"chaos", "-q",
+		"-nodes", "8", "-crashes", "1", "-stall", "500ms",
+		"-warmup", "500ms", "-wave-timeout", "8s", "-heal-window", "20s",
+		"-timeline", timeline, "-json", resPath,
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("chaos smoke failed: %v\nstderr: %s", err, errOut.String())
+	}
+
+	var res struct {
+		Recovered bool `json:"recovered"`
+		Leaked    int  `json:"leaked"`
+		Nodes     int  `json:"nodes"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("stdout is not the result JSON: %v\n%s", err, out.String())
+	}
+	if !res.Recovered || res.Leaked != 0 || res.Nodes != 8 {
+		t.Fatalf("bad result: %+v", res)
+	}
+
+	disk, err := os.ReadFile(resPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(disk), bytes.TrimSpace(out.Bytes())) {
+		t.Fatal("-json file differs from stdout")
+	}
+	tl, err := os.ReadFile(timeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(tl)), "\n") {
+		var rec map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad timeline line %q: %v", line, err)
+		}
+	}
+	if !strings.Contains(string(tl), `"recovered"`) {
+		t.Fatalf("timeline missing the recovered record:\n%s", tl)
+	}
+}
+
+func TestChaosCommandRejectsPositionalArgs(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"chaos", "extra"}, &out, &errOut); err == nil {
+		t.Fatal("positional argument accepted")
+	}
+}

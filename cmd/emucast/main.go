@@ -35,6 +35,13 @@
 //
 //	emucast live -spec examples/scenarios/live-smoke.json -compare-sim
 //
+// The chaos subcommand soaks a live TCP fleet under injected faults —
+// link drop, a crash wave, a transport stall — and asserts the recovery
+// invariants: delivery coverage back at 100% within the heal window and
+// zero leaked goroutines after a graceful shutdown:
+//
+//	emucast chaos -nodes 32 -drop 0.3 -crashes 3 -stall 10s -timeline chaos.jsonl
+//
 // The trace subcommand runs one scenario with dissemination tracing on
 // and writes the full artifact set — per-message tree report, Chrome
 // trace-event/Perfetto timeline, Graphviz DOT — into one directory:
@@ -77,6 +84,9 @@ func run(args []string, out, errOut io.Writer) error {
 	if len(args) > 0 && args[0] == "live" {
 		return runLive(args[1:], out, errOut)
 	}
+	if len(args) > 0 && args[0] == "chaos" {
+		return runChaos(args[1:], out, errOut)
+	}
 	if len(args) > 0 && args[0] == "trace" {
 		return runTrace(args[1:], out, errOut)
 	}
@@ -98,6 +108,7 @@ func run(args []string, out, errOut io.Writer) error {
 				"       emucast scenario [flags] {-f <file.json> | <builtin>}\n"+
 				"       emucast sweep [flags] [-f <sweep.json>]\n"+
 				"       emucast live [flags] {-spec <file.json> | <builtin>}\n"+
+				"       emucast chaos [flags]\n"+
 				"       emucast trace [flags] {-f <file.json> | <builtin>}\n"+
 				"       emucast bench [flags]\n")
 		fs.PrintDefaults()

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"time"
 
+	"emcast/internal/faults"
 	"emcast/internal/obs"
 )
 
@@ -126,6 +127,12 @@ type Network struct {
 	ins    Instruments
 	timed  bool
 	stride uint64
+
+	// faults is the optional fault-injection plane (see internal/faults).
+	// It draws from its own seeded stream and is consulted only when a
+	// rule or stall is registered, so an attached-but-inert injector
+	// leaves the simulation byte-identical.
+	faults *faults.Injector
 }
 
 // Instruments are optional observability counters the emulator bumps as
@@ -185,6 +192,15 @@ func (n *Network) SetInstruments(ins Instruments) {
 		n.stride = DefaultSampleStride
 	}
 }
+
+// SetFaults attaches a fault injector consulted at frame-send time. Call
+// before Run. A nil or inert injector changes nothing; with rules or
+// stalls installed, Send applies drop/delay/duplicate verdicts and stall
+// deferrals deterministically (the injector draws from its own seed).
+func (n *Network) SetFaults(inj *faults.Injector) { n.faults = inj }
+
+// Faults returns the attached injector (nil when none).
+func (n *Network) Faults() *faults.Injector { return n.faults }
 
 type linkKey struct{ from, to int }
 
@@ -350,6 +366,18 @@ func (n *Network) Send(from, to int, frame []byte) {
 		n.ins.FramesLost.Inc()
 		return
 	}
+	// Fault plane: injected verdicts ride on top of the base loss model.
+	// The injector draws from its own seeded stream, so the emulator RNG
+	// (and thus the no-fault trajectory) is untouched either way.
+	var fv faults.Verdict
+	if n.faults.Active() {
+		fv = n.faults.Frame(from, to)
+		if fv.Drop {
+			n.FramesLost++
+			n.ins.FramesLost.Inc()
+			return
+		}
+	}
 	depart := n.now
 	if n.cfg.Bandwidth > 0 {
 		key := linkKey{from, to}
@@ -370,6 +398,27 @@ func (n *Network) Send(from, to int, frame []byte) {
 	if n.cfg.Jitter > 0 {
 		delay += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
 	}
+	if fv.Delay > 0 {
+		delay += fv.Delay
+	}
+	if n.faults.Active() {
+		// A stalled endpoint defers the frame past its stall deadline: a
+		// frozen process neither transmits nor processes arrivals.
+		delay += n.faults.StallDelay(n.now, from, to)
+	}
+	n.queueDeliver(depart+delay, from, to, frame)
+	if fv.Duplicate {
+		// Second copy at the same arrival instant; the later sequence
+		// number delivers it after the original, and the dedup layers
+		// above the transport are expected to absorb it.
+		n.FramesSent++
+		n.ins.FramesSent.Inc()
+		n.queueDeliver(depart+delay, from, to, frame)
+	}
+}
+
+// queueDeliver copies the frame and schedules its delivery event.
+func (n *Network) queueDeliver(at time.Duration, from, to int, frame []byte) {
 	var cp []byte
 	if n.cfg.PooledFrames {
 		cp = n.pool.get(len(frame))
@@ -385,7 +434,7 @@ func (n *Network) Send(from, to int, frame []byte) {
 	// Zero-copy fast path: reserve the bucket slot and write the event
 	// fields straight into it — no 80-byte stack event, no block copy.
 	if n.wheel != nil {
-		s := n.pushSlot(depart + delay)
+		s := n.pushSlot(at)
 		s.kind = evDeliver
 		s.from = from
 		s.to = to
@@ -401,7 +450,7 @@ func (n *Network) Send(from, to int, frame []byte) {
 	ev.from = from
 	ev.to = to
 	ev.frame = cp
-	n.push(depart+delay, &ev)
+	n.push(at, &ev)
 }
 
 // releaseFrame recycles a delivered (or dropped) frame buffer back into

@@ -1,0 +1,99 @@
+package live
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"emcast/internal/obs"
+)
+
+// TestChaosSoakRecovery is the scaled-down CI shape of the nightly soak:
+// a live fleet under 30% link drop, a crash wave and a transport stall
+// must return to 100% delivery coverage within the heal window, shut
+// down cleanly, and leak no goroutines.
+func TestChaosSoakRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak takes several seconds")
+	}
+	reg := obs.NewRegistry()
+	var timeline bytes.Buffer
+	res, err := RunChaos(ChaosConfig{
+		Nodes:       12,
+		Seed:        7,
+		Crashes:     2,
+		Stall:       time.Second,
+		Warmup:      time.Second,
+		WaveTimeout: 10 * time.Second,
+		HealWindow:  25 * time.Second,
+		Logf:        t.Logf,
+		Obs:         reg,
+		Timeline:    &timeline,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.BaselineCoverage < 1 {
+		t.Fatalf("baseline coverage %.3f, want 1 (fleet unhealthy before faults)", res.BaselineCoverage)
+	}
+	if !res.Recovered {
+		t.Fatalf("fleet did not recover: heal coverage %.3f after %v", res.HealCoverage, res.HealTime)
+	}
+	if res.Leaked > 0 {
+		t.Fatalf("%d goroutines leaked (start %d, end %d)", res.Leaked, res.GoroutinesStart, res.GoroutinesEnd)
+	}
+	if len(res.Crashed) != 2 {
+		t.Fatalf("crashed = %v, want 2 victims", res.Crashed)
+	}
+	if len(res.Stalled) != 1 {
+		t.Fatalf("stalled = %v, want 1 victim", res.Stalled)
+	}
+	// The drop rule must actually have fired, and the fleet stats must
+	// carry the fault-labeled losses.
+	if res.Injector.Dropped == 0 {
+		t.Fatalf("injector dropped nothing: %+v", res.Injector)
+	}
+	if res.Transport.LostFault == 0 {
+		t.Fatalf("no frames accounted to the fault reason: %+v", res.Transport)
+	}
+	// Graceful shutdown announces departures; the obs plane carries the
+	// per-reason loss split.
+	if res.Transport.DeparturesSent == 0 {
+		t.Fatal("graceful shutdown sent no departures")
+	}
+	if v, ok := reg.Value("neem_frames_lost", obs.Label{Key: "reason", Value: "fault"}); !ok || v == 0 {
+		t.Fatalf("neem_frames_lost{reason=fault} = %v (ok=%v), want > 0", v, ok)
+	}
+
+	// The timeline is JSONL: every line parses, and the run brackets are
+	// present.
+	var kinds []string
+	for _, line := range strings.Split(strings.TrimSpace(timeline.String()), "\n") {
+		var rec map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad timeline line %q: %v", line, err)
+		}
+		kinds = append(kinds, rec["event"].(string))
+	}
+	joined := strings.Join(kinds, ",")
+	for _, want := range []string{"run_start", "wave", "fault_injected", "crash", "stall", "heal", "recovered", "run_end"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("timeline missing %q: %v", want, kinds)
+		}
+	}
+}
+
+// TestChaosDefaultsFill pins the nightly soak's default shape.
+func TestChaosDefaultsFill(t *testing.T) {
+	var cfg ChaosConfig
+	cfg.fill()
+	if cfg.Nodes != 32 || cfg.Drop != 0.3 || cfg.Crashes != 3 || cfg.Stall != 10*time.Second {
+		t.Fatalf("defaults = %d nodes, %.2f drop, %d crashes, %v stall", cfg.Nodes, cfg.Drop, cfg.Crashes, cfg.Stall)
+	}
+	if cfg.HealWindow != 30*time.Second || cfg.WaveMsgs != 5 {
+		t.Fatalf("defaults = %v heal window, %d wave msgs", cfg.HealWindow, cfg.WaveMsgs)
+	}
+}

@@ -13,10 +13,13 @@
 // Live playback supports the spec features that have a real-network
 // meaning: every traffic generator and sender picker, join/flash-crowd/
 // leave/crash churn (new peers are started with ephemeral ports and enter
-// through the Join protocol; victims are closed or hard-killed), and
-// partition/heal via the PeerConfig.LinkFilter hook. Emulator-only
-// dynamics — latency scaling, loss injection, oracle-ranked kill-best
-// churn — have no live counterpart and are rejected by Supported.
+// through the Join protocol; victims are closed or hard-killed),
+// partition/heal via the PeerConfig.LinkFilter hook, and the fault-*
+// event vocabulary (link drop/delay/duplicate/reorder rules through a
+// fleet-shared faults.Injector, stalls through transport freezes, and
+// targeted crashes). Emulator-only dynamics — latency scaling, loss
+// injection, oracle-ranked kill-best churn — have no live counterpart
+// and are rejected by Supported.
 package live
 
 import (
@@ -29,6 +32,7 @@ import (
 
 	"emcast"
 	"emcast/internal/disstrace"
+	"emcast/internal/faults"
 	"emcast/internal/neem"
 	"emcast/internal/obs"
 	"emcast/internal/peer"
@@ -108,8 +112,14 @@ func Supported(spec *scenario.Spec) error {
 		for j := range p.Network {
 			switch p.Network[j].Kind {
 			case scenario.NetPartition, scenario.NetHeal:
+			case scenario.NetFaultLink, scenario.NetFaultClear, scenario.NetFaultStall,
+				scenario.NetFaultCrash, scenario.NetFaultSlow:
+				// The fault plane has a live realisation: link rules apply
+				// through the fleet-shared injector (receive-side,
+				// best-effort), stalls freeze victim transports, crashes
+				// hard-kill their victims.
 			default:
-				return fmt.Errorf("live: phase %q: network event %q is emulator-only (supported live: partition, heal)", p.Name, p.Network[j].Kind)
+				return fmt.Errorf("live: phase %q: network event %q is emulator-only (supported live: partition, heal, fault-*)", p.Name, p.Network[j].Kind)
 			}
 		}
 	}
@@ -132,19 +142,22 @@ type Harness struct {
 	epoch      time.Time
 	rng        *rand.Rand
 
-	mu          sync.Mutex
-	peers       map[int]*emcast.Peer
-	addrs       map[emcast.NodeID]string
-	joined      map[peer.ID]time.Duration
-	failed      map[peer.ID]bool
-	retiredSent uint64
-	retiredLost uint64
-	retiredSndB uint64 // wire bytes sent by since-closed peers
-	retiredRcvB uint64 // wire bytes received by since-closed peers
-	nextJoiner  int
-	skipped     []int
-	closing     sync.WaitGroup
-	obsFuncs    []*obs.Func
+	// inj is the fleet-shared fault injector, provisioned only when the
+	// spec schedules fault-* events (same seed derivation as the
+	// simulator engine, so sim and live draw matching rule streams even
+	// though live application is best-effort).
+	inj *faults.Injector
+
+	mu         sync.Mutex
+	peers      map[int]*emcast.Peer
+	addrs      map[emcast.NodeID]string
+	joined     map[peer.ID]time.Duration
+	failed     map[peer.ID]bool
+	retired    neem.Stats // final stat snapshots of since-closed peers
+	nextJoiner int
+	skipped    []int
+	closing    sync.WaitGroup
+	obsFuncs   []*obs.Func
 
 	// Partition/crash state read by every peer's link filter, on
 	// transport goroutines — its own lock keeps filter evaluation off
@@ -180,12 +193,17 @@ func New(spec scenario.Spec, opts Options) (*Harness, error) {
 		})
 		nodeTracer = trace.Tee(tracer, diss)
 	}
+	var inj *faults.Injector
+	if spec.HasFaults() {
+		inj = faults.New(spec.Seed ^ 0x0fa17a11)
+	}
 	return &Harness{
 		spec:       spec,
 		opts:       opts,
 		tracer:     tracer,
 		diss:       diss,
 		nodeTracer: nodeTracer,
+		inj:        inj,
 		rng:        rand.New(rand.NewSource(spec.Seed ^ 0x11ce5ce9a5105ce9)),
 		peers:      make(map[int]*emcast.Peer),
 		addrs:      make(map[emcast.NodeID]string),
@@ -226,22 +244,25 @@ func (h *Harness) sideOf(n emcast.NodeID) int {
 func (h *Harness) fleetStats() neem.Stats {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	agg := neem.Stats{
-		FramesSent:    h.retiredSent,
-		FramesLost:    h.retiredLost,
-		BytesSent:     h.retiredSndB,
-		BytesReceived: h.retiredRcvB,
-	}
+	agg := h.retired
 	for _, p := range h.peers {
-		s := p.TransportStats()
-		agg.FramesSent += s.FramesSent
-		agg.FramesLost += s.FramesLost
-		agg.BytesSent += s.BytesSent
-		agg.BytesReceived += s.BytesReceived
-		agg.QueueDepth += s.QueueDepth
+		agg.Add(p.TransportStats())
 	}
 	return agg
 }
+
+// retire folds a closing peer's final stat snapshot into the retired
+// accumulator. Queued frames are not carried over — the close path
+// accounts them as lost on its own. Callers hold h.mu.
+func (h *Harness) retireLocked(p *emcast.Peer) {
+	s := p.TransportStats()
+	s.QueueDepth = 0
+	h.retired.Add(s)
+}
+
+// Faults exposes the fleet-shared fault injector, or nil when the spec
+// schedules no fault-* events.
+func (h *Harness) Faults() *faults.Injector { return h.inj }
 
 // attachObs registers fleet-wide callback instruments; callbacks walk
 // the live peer set under the harness lock, so a scrape sees a
@@ -270,6 +291,25 @@ func (h *Harness) attachObs() {
 			defer h.mu.Unlock()
 			return float64(len(h.liveAllLocked()))
 		}),
+		reg.CounterFunc("neem_reconnects_total", "connections re-dialed after dying under the fleet",
+			stat(func(s neem.Stats) float64 { return float64(s.Reconnects) })),
+		reg.CounterFunc("neem_conns_reaped_total", "connections reaped after exhausting their dial budget",
+			stat(func(s neem.Stats) float64 { return float64(s.Reaped) })),
+		reg.CounterFunc("neem_departures_total", "graceful departures announced by closing fleet peers",
+			stat(func(s neem.Stats) float64 { return float64(s.DeparturesSent) }),
+			obs.Label{Key: "direction", Value: "sent"}),
+		reg.CounterFunc("neem_departures_total", "graceful departures heard from remote peers",
+			stat(func(s neem.Stats) float64 { return float64(s.DeparturesRecv) }),
+			obs.Label{Key: "direction", Value: "received"}),
+	}
+	// One counter per loss reason: neem_frames_lost{reason} sums to
+	// live_frames_lost_total, the per-cause split chaos assertions read.
+	for _, r := range neem.LostReasons() {
+		r := r
+		h.obsFuncs = append(h.obsFuncs, reg.CounterFunc(
+			"neem_frames_lost", "frames lost before transmission, by reason",
+			stat(func(s neem.Stats) float64 { return float64(s.Lost(r)) }),
+			obs.Label{Key: "reason", Value: r.String()}))
 	}
 }
 
@@ -303,6 +343,7 @@ func (h *Harness) peerConfig(self int) emcast.PeerConfig {
 		LinkFilter: h.allow,
 		Epoch:      h.epoch,
 		Tracer:     h.nodeTracer,
+		Faults:     h.inj, // nil unless the spec schedules fault-* events
 	}
 	switch h.spec.Strategy {
 	case "eager", "":
@@ -340,7 +381,7 @@ type boundary struct {
 func (h *Harness) boundary(cp trace.Checkpoint) boundary {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	sent, lost := h.retiredSent, h.retiredLost
+	sent, lost := h.retired.FramesSent, h.retired.FramesLost
 	for _, p := range h.peers {
 		s, l := p.Frames()
 		sent += s
@@ -667,15 +708,21 @@ func (h *Harness) kill(leave bool) {
 		live = joiners
 	}
 	victim := live[h.rng.Intn(len(live))]
+	h.mu.Unlock()
+	h.killNode(victim, leave)
+}
+
+// killNode removes one specific participant: gracefully (the peer drains
+// and announces its departure) or hard (the link filter silences it
+// first — goodbyes included — so the fleet sees a crash, not a leave).
+// Fault-crash events call this with their explicit victims.
+func (h *Harness) killNode(victim int, leave bool) {
+	h.mu.Lock()
 	p := h.peers[victim]
 	delete(h.peers, victim)
 	h.failed[peer.ID(victim)] = true
 	if p != nil {
-		s := p.TransportStats()
-		h.retiredSent += s.FramesSent
-		h.retiredLost += s.FramesLost
-		h.retiredSndB += s.BytesSent
-		h.retiredRcvB += s.BytesReceived
+		h.retireLocked(p)
 	}
 	h.mu.Unlock()
 
@@ -725,6 +772,41 @@ func (h *Harness) applyNetEvent(ev *scenario.NetEvent) {
 		h.fmu.Lock()
 		h.side = nil
 		h.fmu.Unlock()
+	case scenario.NetFaultLink:
+		// Same translation the simulator engine uses; live application is
+		// receive-side in the transports, best-effort by design.
+		h.logf("live: fault-link installed (drop=%.2f delay=%v dup=%.2f reorder=%.2f)",
+			ev.Drop, ev.Delay.D(), ev.Duplicate, ev.Reorder)
+		_ = h.inj.Install(ev.FaultRule())
+	case scenario.NetFaultClear:
+		h.logf("live: fault rules cleared")
+		h.inj.Clear()
+	case scenario.NetFaultSlow:
+		h.logf("live: fault-slow nodes %v (+%v each way)", ev.Nodes, ev.Delay.D())
+		for _, r := range ev.SlowRules() {
+			_ = h.inj.Install(r)
+		}
+	case scenario.NetFaultStall:
+		// Live stalls freeze the victims' transport loops for the wall
+		// mapping of the virtual window, so remote senders feel real TCP
+		// backpressure while the process stays up.
+		d := h.wall(ev.For.D())
+		h.logf("live: fault-stall nodes %v for %v wall", ev.Nodes, d)
+		h.mu.Lock()
+		victims := make([]*emcast.Peer, 0, len(ev.Nodes))
+		for _, n := range ev.Nodes {
+			if p := h.peers[n]; p != nil {
+				victims = append(victims, p)
+			}
+		}
+		h.mu.Unlock()
+		for _, p := range victims {
+			p.Stall(d)
+		}
+	case scenario.NetFaultCrash:
+		for _, n := range ev.Nodes {
+			h.killNode(n, false)
+		}
 	}
 }
 
@@ -733,11 +815,7 @@ func (h *Harness) shutdown() {
 	h.mu.Lock()
 	peers := make([]*emcast.Peer, 0, len(h.peers))
 	for i, p := range h.peers {
-		s := p.TransportStats()
-		h.retiredSent += s.FramesSent
-		h.retiredLost += s.FramesLost
-		h.retiredSndB += s.BytesSent
-		h.retiredRcvB += s.BytesReceived
+		h.retireLocked(p)
 		peers = append(peers, p)
 		delete(h.peers, i)
 	}

@@ -9,9 +9,22 @@
 // handshake carrying the dialer's node identifier. The transport implements
 // peer.Transport, so the exact protocol code that runs in the simulator
 // runs over real sockets.
+//
+// The transport is self-healing. Outbound connections dial with jittered
+// exponential backoff behind a global concurrency limit (no reconnect
+// storms), every socket write carries a deadline (a stalled peer cannot
+// wedge a write loop), and a connection that dies mid-stream reconnects
+// with its queue intact. A peer that stays unreachable through the
+// configured dial budget is marked suspect and reaped: its queue drains
+// as lost and the entry is forgotten, so a later Send starts fresh.
+// Close is graceful: send queues flush under a drain deadline and each
+// connection announces departure with a sentinel frame, so on the wire a
+// graceful leave looks different from a crash — the receiver's
+// OnDeparture hook fires for the former and never for the latter.
 package neem
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -21,18 +34,117 @@ import (
 	"sync/atomic"
 	"time"
 
+	"emcast/internal/faults"
 	"emcast/internal/peer"
 )
 
 // MaxFrame bounds accepted frame sizes.
 const MaxFrame = 1 << 20
 
-// sendQueueSize is the per-peer user-space buffer; when full, the oldest
-// frame is purged (NeEM's custom purging strategy).
+// sendQueueSize is the default per-peer user-space buffer; when full, the
+// oldest frame is purged (NeEM's custom purging strategy).
 const sendQueueSize = 1024
+
+// maxPurgeRetries bounds Send's purge-and-retry attempts on a full queue.
+// Under concurrent senders an unbounded loop can spin forever (each purge
+// freeing a slot another sender steals); after this many attempts the
+// frame itself is counted lost — the protocol's lazy layer recovers.
+const maxPurgeRetries = 4
+
+// departureSentinel is the length-prefix value announcing a graceful
+// leave. It cannot collide with a real frame: lengths above MaxFrame are
+// protocol errors.
+const departureSentinel = 0xFFFFFFFF
 
 // Handler receives inbound frames.
 type Handler func(from peer.ID, frame []byte)
+
+// ConnState is an outbound connection's health.
+type ConnState int32
+
+const (
+	// StateDialing: the first connection attempt is in flight.
+	StateDialing ConnState = iota
+	// StateUp: the connection is established and writable.
+	StateUp
+	// StateBackoff: the last attempt failed; the next dial is scheduled
+	// with jittered exponential backoff.
+	StateBackoff
+	// StateSuspect: the dial budget is exhausted; the connection absorbs
+	// (and loses) frames through a cooldown, then is forgotten.
+	StateSuspect
+)
+
+// String returns the state's label.
+func (s ConnState) String() string {
+	switch s {
+	case StateDialing:
+		return "dialing"
+	case StateUp:
+		return "up"
+	case StateBackoff:
+		return "backoff"
+	case StateSuspect:
+		return "suspect"
+	}
+	return fmt.Sprintf("ConnState(%d)", int32(s))
+}
+
+// LostReason classifies why a frame was lost before (or instead of)
+// transmission. The breakdown feeds neem_frames_lost{reason} obs counters.
+type LostReason int
+
+const (
+	// LostFilter: the link filter rejected the frame.
+	LostFilter LostReason = iota
+	// LostUnknown: the destination is not in the address book.
+	LostUnknown
+	// LostPurge: purged from a full send queue (oldest-first), or the
+	// frame itself after the bounded purge-retry budget.
+	LostPurge
+	// LostReap: discarded while the connection was suspect or when its
+	// queue was torn down at reap/close.
+	LostReap
+	// LostWrite: a socket write failed or timed out; the frame in flight
+	// is gone (the connection reconnects, the queue survives).
+	LostWrite
+	// LostClosed: the transport was already closed.
+	LostClosed
+	// LostFault: dropped by the fault-injection plane (chaos testing).
+	LostFault
+
+	numLostReasons
+)
+
+// String returns the reason's obs label.
+func (r LostReason) String() string {
+	switch r {
+	case LostFilter:
+		return "filter"
+	case LostUnknown:
+		return "unknown_peer"
+	case LostPurge:
+		return "purge"
+	case LostReap:
+		return "reap"
+	case LostWrite:
+		return "write"
+	case LostClosed:
+		return "closed"
+	case LostFault:
+		return "fault"
+	}
+	return fmt.Sprintf("LostReason(%d)", int(r))
+}
+
+// LostReasons lists every reason in label order, for obs registration.
+func LostReasons() []LostReason {
+	out := make([]LostReason, numLostReasons)
+	for i := range out {
+		out[i] = LostReason(i)
+	}
+	return out
+}
 
 // Config configures a Transport.
 type Config struct {
@@ -46,8 +158,33 @@ type Config struct {
 	// of scope, as in the paper's testbed where membership is
 	// bootstrapped explicitly.) The map is copied at Listen.
 	Peers map[peer.ID]string
-	// DialTimeout bounds connection establishment. Zero means 3 s.
+	// DialTimeout bounds one connection-establishment attempt. Zero
+	// means 3 s.
 	DialTimeout time.Duration
+	// DialBackoffBase is the delay before the second dial attempt;
+	// subsequent attempts double it (with jitter in [d/2, d)) up to
+	// DialBackoffMax. Zero means 100 ms.
+	DialBackoffBase time.Duration
+	// DialBackoffMax caps the backoff delay and sets the suspect
+	// cooldown. Zero means 3 s.
+	DialBackoffMax time.Duration
+	// DialAttempts is the consecutive-failure budget before a peer is
+	// reaped. Zero means 5.
+	DialAttempts int
+	// MaxConcurrentDials bounds simultaneous dial attempts across the
+	// whole transport, so mass reconnection after a fault heals is a
+	// trickle, not a storm. Zero means 16.
+	MaxConcurrentDials int
+	// WriteTimeout is the per-write socket deadline: a peer that stops
+	// reading (stalled process, dead NAT entry) fails the write and
+	// triggers a reconnect instead of wedging the write loop. Zero
+	// means 10 s.
+	WriteTimeout time.Duration
+	// DrainTimeout bounds the graceful-close flush: each connection gets
+	// this long to empty its queue and announce departure. Zero means 2 s.
+	DrainTimeout time.Duration
+	// QueueSize is the per-peer send-queue capacity. Zero means 1024.
+	QueueSize int
 	// Filter, when set, is consulted for every frame in both directions:
 	// a frame from a to b is carried only when Filter(a, b) is true.
 	// Dropped frames count as lost. This emulates network partitions and
@@ -55,6 +192,45 @@ type Config struct {
 	// shared mutable state (it is called concurrently from transport
 	// goroutines), so a harness can flip partitions mid-run.
 	Filter func(from, to peer.ID) bool
+	// OnDeparture, when set, fires once per inbound connection whose
+	// remote announced a graceful leave (the departure sentinel) before
+	// the stream ended. Crashed peers never announce, so the hook
+	// distinguishes leaves from crashes on the wire. Called from a
+	// transport goroutine.
+	OnDeparture func(from peer.ID)
+	// Faults, when set, applies the fault-injection plane to inbound
+	// frames (drop / extra delay / duplicate), sharing the rule
+	// vocabulary with the simulator. Best-effort: transport goroutines
+	// race on the draw stream, so rates hold but per-frame sequences do
+	// not reproduce (see internal/faults).
+	Faults *faults.Injector
+}
+
+func (cfg *Config) fill() {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 3 * time.Second
+	}
+	if cfg.DialBackoffBase <= 0 {
+		cfg.DialBackoffBase = 100 * time.Millisecond
+	}
+	if cfg.DialBackoffMax <= 0 {
+		cfg.DialBackoffMax = 3 * time.Second
+	}
+	if cfg.DialAttempts <= 0 {
+		cfg.DialAttempts = 5
+	}
+	if cfg.MaxConcurrentDials <= 0 {
+		cfg.MaxConcurrentDials = 16
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 2 * time.Second
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = sendQueueSize
+	}
 }
 
 // Transport is a TCP-backed peer.Transport.
@@ -64,48 +240,74 @@ type Transport struct {
 	handler  Handler
 
 	framesSent atomic.Uint64
-	framesLost atomic.Uint64
 	bytesSent  atomic.Uint64
 	bytesRecv  atomic.Uint64
+	lost       [numLostReasons]atomic.Uint64
+
+	reconnects atomic.Uint64
+	reaped     atomic.Uint64
+	depSent    atomic.Uint64
+	depRecv    atomic.Uint64
+
+	// stallUntil freezes the transport's read/write loops until the given
+	// wall instant (UnixNano) — the live half of fault-stall injection.
+	// Senders to a stalled peer feel genuine TCP backpressure and their
+	// write deadlines, exactly the failure a frozen process produces.
+	stallUntil atomic.Int64
+
+	// drainCh closes when a graceful Close begins: write loops flush
+	// their queues and announce departure. quit closes when the drain
+	// window ends (or immediately on a forced path): every loop aborts.
+	drainCh    chan struct{}
+	quit       chan struct{}
+	dialSem    chan struct{}
+	dialCtx    context.Context
+	dialCancel context.CancelFunc
 
 	mu       sync.Mutex
 	peers    map[peer.ID]string
 	conns    map[peer.ID]*conn
 	accepted map[net.Conn]struct{}
 	closed   bool
-	wg       sync.WaitGroup
+	wg       sync.WaitGroup // every transport goroutine
+	writers  sync.WaitGroup // write loops only, for the bounded drain wait
 }
 
 // conn is one outbound connection's state. The queue is never closed —
-// concurrent Sends would race a close and panic; instead done is closed
-// at transport shutdown and every loop selects on it.
+// concurrent Sends would race a close and panic; loops exit via the
+// transport's drain/quit channels instead.
 type conn struct {
-	to      peer.ID
-	queue   chan []byte
-	done    chan struct{}
-	dropped int
-	c       net.Conn
-	mu      sync.Mutex
+	to    peer.ID
+	queue chan []byte
+	state atomic.Int32
+	rng   uint64 // private splitmix64 state for backoff jitter
+	wasUp bool   // a dial success after this is a reconnect
 }
+
+func (c *conn) setState(s ConnState) { c.state.Store(int32(s)) }
 
 // Listen starts a transport: it binds the listen address and serves inbound
 // connections. The handler may be nil initially and set with SetHandler
 // before traffic flows.
 func Listen(cfg Config, handler Handler) (*Transport, error) {
-	if cfg.DialTimeout <= 0 {
-		cfg.DialTimeout = 3 * time.Second
-	}
+	cfg.fill()
 	l, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("neem: listen %s: %w", cfg.ListenAddr, err)
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	t := &Transport{
-		cfg:      cfg,
-		listener: l,
-		handler:  handler,
-		peers:    make(map[peer.ID]string, len(cfg.Peers)),
-		conns:    make(map[peer.ID]*conn),
-		accepted: make(map[net.Conn]struct{}),
+		cfg:        cfg,
+		listener:   l,
+		handler:    handler,
+		drainCh:    make(chan struct{}),
+		quit:       make(chan struct{}),
+		dialSem:    make(chan struct{}, cfg.MaxConcurrentDials),
+		dialCtx:    ctx,
+		dialCancel: cancel,
+		peers:      make(map[peer.ID]string, len(cfg.Peers)),
+		conns:      make(map[peer.ID]*conn),
+		accepted:   make(map[net.Conn]struct{}),
 	}
 	for id, addr := range cfg.Peers {
 		t.peers[id] = addr
@@ -128,72 +330,72 @@ func (t *Transport) Addr() net.Addr { return t.listener.Addr() }
 // Local implements peer.Transport.
 func (t *Transport) Local() peer.ID { return t.cfg.Self }
 
+func (t *Transport) lose(r LostReason, n uint64) { t.lost[r].Add(n) }
+
 // Send implements peer.Transport: the frame is queued for asynchronous
-// transmission; when the queue is full the oldest frame is purged, and
-// frames to unknown, filtered or unreachable peers are dropped silently —
-// the protocol's lazy layer recovers via retransmission requests.
+// transmission; when the queue is full the oldest frames are purged
+// (bounded retries — under sender contention the frame itself is counted
+// lost rather than spinning), and frames to unknown, filtered or
+// unreachable peers are dropped — the protocol's lazy layer recovers via
+// retransmission requests.
 func (t *Transport) Send(to peer.ID, frame []byte) {
 	if f := t.cfg.Filter; f != nil && !f(t.cfg.Self, to) {
-		t.framesLost.Add(1)
+		t.lose(LostFilter, 1)
 		return
 	}
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
+		t.lose(LostClosed, 1)
 		return
 	}
 	c, ok := t.conns[to]
 	if !ok {
-		addr, known := t.peers[to]
-		if !known {
+		if _, known := t.peers[to]; !known {
 			t.mu.Unlock()
-			t.framesLost.Add(1)
+			t.lose(LostUnknown, 1)
 			return
 		}
-		c = &conn{to: to, queue: make(chan []byte, sendQueueSize), done: make(chan struct{})}
+		c = &conn{
+			to:    to,
+			queue: make(chan []byte, t.cfg.QueueSize),
+			rng:   uint64(t.cfg.Self)<<32 ^ uint64(to) ^ uint64(time.Now().UnixNano()),
+		}
 		t.conns[to] = c
 		t.wg.Add(1)
-		go t.writeLoop(c, addr)
+		t.writers.Add(1)
+		go t.writeLoop(c)
 	}
 	t.mu.Unlock()
 
 	cp := append([]byte(nil), frame...)
-	for {
+	for attempt := 0; ; attempt++ {
 		select {
 		case c.queue <- cp:
 			return
-		case <-c.done:
-			t.framesLost.Add(1)
+		case <-t.quit:
+			t.lose(LostClosed, 1)
 			return
 		default:
-			// Queue full: purge the oldest frame and retry.
-			select {
-			case <-c.queue:
-				c.mu.Lock()
-				c.dropped++
-				c.mu.Unlock()
-			default:
-			}
+		}
+		if attempt >= maxPurgeRetries {
+			// Purged slots keep being stolen by concurrent senders; give
+			// this frame up instead of spinning (the old unbounded loop
+			// could livelock here).
+			t.lose(LostPurge, 1)
+			return
+		}
+		// Queue full: purge the oldest frame and retry.
+		select {
+		case <-c.queue:
+			t.lose(LostPurge, 1)
+		default:
 		}
 	}
 }
 
 // Dropped returns the number of frames purged from send queues.
-func (t *Transport) Dropped() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.purgedLocked()
-}
-
-func (t *Transport) purgedLocked() int {
-	total := 0
-	for _, c := range t.conns {
-		c.mu.Lock()
-		total += c.dropped
-		c.mu.Unlock()
-	}
-	return total
-}
+func (t *Transport) Dropped() int { return int(t.lost[LostPurge].Load()) }
 
 // AddPeer adds (or updates) an address-book entry at run time, so nodes
 // that appear after start-up — late joiners with ephemeral listen ports —
@@ -204,26 +406,123 @@ func (t *Transport) AddPeer(id peer.ID, addr string) {
 	t.peers[id] = addr
 }
 
+// Stall freezes the transport's read and write loops for d (measured on
+// the wall clock), the live realisation of fault-stall injection: the
+// process stays alive and its sockets stay open, but nothing moves, so
+// remote senders see TCP backpressure and their write deadlines — exactly
+// what a stop-the-world pause or a seized disk produces. Overlapping
+// stalls extend, never shorten.
+func (t *Transport) Stall(d time.Duration) {
+	until := time.Now().Add(d).UnixNano()
+	for {
+		cur := t.stallUntil.Load()
+		if cur >= until || t.stallUntil.CompareAndSwap(cur, until) {
+			return
+		}
+	}
+}
+
+// stallWait blocks while the transport is stalled. It returns false when
+// the transport shut down instead.
+func (t *Transport) stallWait() bool {
+	for {
+		until := t.stallUntil.Load()
+		now := time.Now().UnixNano()
+		if until <= now {
+			return true
+		}
+		tm := time.NewTimer(time.Duration(until - now))
+		select {
+		case <-tm.C:
+		case <-t.quit:
+			tm.Stop()
+			return false
+		}
+	}
+}
+
 // Counters returns the transport's cumulative frame counters: frames
 // written to sockets, and frames lost before transmission (purged from a
-// full send queue, dropped by the filter, or addressed to an unknown
-// peer).
+// full send queue, dropped by the filter, addressed to an unknown peer,
+// failed in a socket write, or injected away by the fault plane).
 func (t *Transport) Counters() (sent, lost uint64) {
-	t.mu.Lock()
-	purged := uint64(t.purgedLocked())
-	t.mu.Unlock()
-	return t.framesSent.Load(), t.framesLost.Load() + purged
+	var total uint64
+	for i := range t.lost {
+		total += t.lost[i].Load()
+	}
+	return t.framesSent.Load(), total
 }
 
 // Stats is a consistent-enough point-in-time view of transport activity.
 // Counters are cumulative; QueueDepth is the instantaneous number of
 // frames parked in user-space send queues across all live connections.
+// FramesLost is always the sum of the Lost* breakdown.
 type Stats struct {
 	FramesSent    uint64
 	FramesLost    uint64
 	BytesSent     uint64 // payload + 4-byte length prefix, per frame
 	BytesReceived uint64 // payload + 4-byte length prefix, per frame
 	QueueDepth    int
+
+	// FramesLost by reason (see LostReason).
+	LostFilter  uint64
+	LostUnknown uint64
+	LostPurge   uint64
+	LostReap    uint64
+	LostWrite   uint64
+	LostClosed  uint64
+	LostFault   uint64
+
+	// Self-healing activity: successful re-dials after a connection died,
+	// peers reaped after exhausting their dial budget, and graceful
+	// departures announced/observed.
+	Reconnects     uint64
+	Reaped         uint64
+	DeparturesSent uint64
+	DeparturesRecv uint64
+}
+
+// Add accumulates another transport's stats into s — the fleet
+// aggregation the live harness does across peers (and across retired
+// peers' final snapshots).
+func (s *Stats) Add(o Stats) {
+	s.FramesSent += o.FramesSent
+	s.FramesLost += o.FramesLost
+	s.BytesSent += o.BytesSent
+	s.BytesReceived += o.BytesReceived
+	s.QueueDepth += o.QueueDepth
+	s.LostFilter += o.LostFilter
+	s.LostUnknown += o.LostUnknown
+	s.LostPurge += o.LostPurge
+	s.LostReap += o.LostReap
+	s.LostWrite += o.LostWrite
+	s.LostClosed += o.LostClosed
+	s.LostFault += o.LostFault
+	s.Reconnects += o.Reconnects
+	s.Reaped += o.Reaped
+	s.DeparturesSent += o.DeparturesSent
+	s.DeparturesRecv += o.DeparturesRecv
+}
+
+// Lost returns the breakdown counter for one reason.
+func (s *Stats) Lost(r LostReason) uint64 {
+	switch r {
+	case LostFilter:
+		return s.LostFilter
+	case LostUnknown:
+		return s.LostUnknown
+	case LostPurge:
+		return s.LostPurge
+	case LostReap:
+		return s.LostReap
+	case LostWrite:
+		return s.LostWrite
+	case LostClosed:
+		return s.LostClosed
+	case LostFault:
+		return s.LostFault
+	}
+	return 0
 }
 
 // Stats returns transport counters plus the current send-queue depth. It
@@ -231,22 +530,47 @@ type Stats struct {
 // so a scrape handler can watch a live run.
 func (t *Transport) Stats() Stats {
 	t.mu.Lock()
-	purged := uint64(t.purgedLocked())
 	depth := 0
 	for _, c := range t.conns {
 		depth += len(c.queue)
 	}
 	t.mu.Unlock()
-	return Stats{
-		FramesSent:    t.framesSent.Load(),
-		FramesLost:    t.framesLost.Load() + purged,
-		BytesSent:     t.bytesSent.Load(),
-		BytesReceived: t.bytesRecv.Load(),
-		QueueDepth:    depth,
+	s := Stats{
+		FramesSent:     t.framesSent.Load(),
+		BytesSent:      t.bytesSent.Load(),
+		BytesReceived:  t.bytesRecv.Load(),
+		QueueDepth:     depth,
+		LostFilter:     t.lost[LostFilter].Load(),
+		LostUnknown:    t.lost[LostUnknown].Load(),
+		LostPurge:      t.lost[LostPurge].Load(),
+		LostReap:       t.lost[LostReap].Load(),
+		LostWrite:      t.lost[LostWrite].Load(),
+		LostClosed:     t.lost[LostClosed].Load(),
+		LostFault:      t.lost[LostFault].Load(),
+		Reconnects:     t.reconnects.Load(),
+		Reaped:         t.reaped.Load(),
+		DeparturesSent: t.depSent.Load(),
+		DeparturesRecv: t.depRecv.Load(),
 	}
+	s.FramesLost = s.LostFilter + s.LostUnknown + s.LostPurge + s.LostReap +
+		s.LostWrite + s.LostClosed + s.LostFault
+	return s
 }
 
-// Close shuts the transport down and waits for its goroutines.
+// Health returns the state of every outbound connection, keyed by peer.
+func (t *Transport) Health() map[peer.ID]ConnState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[peer.ID]ConnState, len(t.conns))
+	for id, c := range t.conns {
+		out[id] = ConnState(c.state.Load())
+	}
+	return out
+}
+
+// Close shuts the transport down gracefully: send queues get a drain
+// window to flush, each live connection announces departure, then every
+// goroutine is stopped and waited for. A second Close is a no-op.
 func (t *Transport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -254,20 +578,35 @@ func (t *Transport) Close() error {
 		return nil
 	}
 	t.closed = true
-	conns := make([]*conn, 0, len(t.conns))
-	for _, c := range t.conns {
-		conns = append(conns, c)
+	t.mu.Unlock()
+
+	// Begin the drain: write loops flush and depart, dial attempts abort.
+	close(t.drainCh)
+	t.dialCancel()
+	err := t.listener.Close()
+
+	// Wait for the writers, bounded by the drain window (their flush
+	// writes carry the same deadline, so this normally returns early).
+	writersDone := make(chan struct{})
+	go func() {
+		t.writers.Wait()
+		close(writersDone)
+	}()
+	tm := time.NewTimer(t.cfg.DrainTimeout + time.Second)
+	select {
+	case <-writersDone:
+		tm.Stop()
+	case <-tm.C:
 	}
+
+	// Force everything else down.
+	close(t.quit)
+	t.mu.Lock()
 	inbound := make([]net.Conn, 0, len(t.accepted))
 	for nc := range t.accepted {
 		inbound = append(inbound, nc)
 	}
 	t.mu.Unlock()
-
-	err := t.listener.Close()
-	for _, c := range conns {
-		close(c.done)
-	}
 	for _, nc := range inbound {
 		nc.Close()
 	}
@@ -309,115 +648,331 @@ func (t *Transport) readLoop(nc net.Conn) {
 	}
 	from := peer.ID(binary.BigEndian.Uint32(hdr[:]))
 	for {
-		frame, err := readFrame(nc)
+		frame, departed, err := readFrame(nc)
 		if err != nil {
 			return
+		}
+		if departed {
+			// The goodbye is a wire frame like any other: a sender the
+			// link filter has silenced (the harness's crash emulation) is
+			// not heard, so filter-killed peers really do die without
+			// announcing.
+			if f := t.cfg.Filter; f == nil || f(from, t.cfg.Self) {
+				t.depRecv.Add(1)
+				if f := t.cfg.OnDeparture; f != nil {
+					f(from)
+				}
+			}
+			continue // keep reading until the remote closes
+		}
+		if !t.stallWait() {
+			return // shut down while stalled
 		}
 		t.bytesRecv.Add(uint64(len(frame)) + 4)
 		if f := t.cfg.Filter; f != nil && !f(from, t.cfg.Self) {
 			continue // partitioned or crashed sender: drop on the floor
 		}
-		t.mu.Lock()
-		h := t.handler
-		t.mu.Unlock()
-		if h != nil {
-			h(from, frame)
+		t.deliver(from, frame)
+	}
+}
+
+// deliver hands one inbound frame to the handler, applying the fault
+// plane's verdict first (live injection is receive-side: the receiver
+// knows both endpoints, and delay/duplicate need the deserialized frame).
+func (t *Transport) deliver(from peer.ID, frame []byte) {
+	if inj := t.cfg.Faults; inj.Active() {
+		v := inj.Frame(int(from), int(t.cfg.Self))
+		if v.Drop {
+			t.lose(LostFault, 1)
+			return
+		}
+		if v.Delay > 0 {
+			// Deferred (and possibly duplicated) delivery. The timer
+			// callback re-checks for shutdown so a drained transport
+			// never delivers late frames.
+			n := 1
+			if v.Duplicate {
+				n = 2
+			}
+			for i := 0; i < n; i++ {
+				time.AfterFunc(v.Delay, func() {
+					select {
+					case <-t.quit:
+					default:
+						t.handleFrame(from, frame)
+					}
+				})
+			}
+			return
+		}
+		if v.Duplicate {
+			t.handleFrame(from, frame)
+		}
+	}
+	t.handleFrame(from, frame)
+}
+
+func (t *Transport) handleFrame(from peer.ID, frame []byte) {
+	t.mu.Lock()
+	h := t.handler
+	t.mu.Unlock()
+	if h != nil {
+		h(from, frame)
+	}
+}
+
+// errTransportDown signals a write loop to exit for good.
+var errTransportDown = errors.New("neem: transport shutting down")
+
+// writeLoop owns one outbound connection for the transport's lifetime (or
+// until the peer is reaped): dial with backoff, serve the queue, and on a
+// broken socket reconnect with the queue intact.
+func (t *Transport) writeLoop(c *conn) {
+	defer t.wg.Done()
+	defer t.writers.Done()
+	consecutive := 0
+	for {
+		nc := t.dialWithBackoff(c, &consecutive)
+		if nc == nil {
+			return // reaped, drained or shut down (dialWithBackoff cleaned up)
+		}
+		consecutive = 0
+		if c.wasUp {
+			t.reconnects.Add(1)
+		}
+		c.wasUp = true
+		c.setState(StateUp)
+		err := t.serveConn(c, nc)
+		nc.Close()
+		if errors.Is(err, errTransportDown) {
+			return
+		}
+		// The socket died mid-stream: loop to re-dial. The queue keeps
+		// absorbing Sends meanwhile (purging oldest when full).
+		consecutive = 1
+	}
+}
+
+// dialWithBackoff attempts to establish c's connection, sleeping with
+// jittered exponential backoff between failures and acquiring the global
+// dial slot for each attempt. It returns nil after the attempt budget is
+// exhausted (the conn is reaped) or when the transport shuts down.
+func (t *Transport) dialWithBackoff(c *conn, consecutive *int) net.Conn {
+	for {
+		if *consecutive >= t.cfg.DialAttempts {
+			t.reap(c)
+			return nil
+		}
+		if *consecutive > 0 {
+			c.setState(StateBackoff)
+			if !t.backoffSleep(c, *consecutive) {
+				t.discard(c, true)
+				return nil
+			}
+		} else {
+			c.setState(StateDialing)
+		}
+		// The global dial slot bounds reconnect storms fleet-wide.
+		select {
+		case t.dialSem <- struct{}{}:
+		case <-t.drainCh:
+			t.discard(c, true)
+			return nil
+		case <-t.quit:
+			t.discard(c, false)
+			return nil
+		}
+		nc, err := t.dialOnce(c.to)
+		<-t.dialSem
+		if err != nil {
+			select {
+			case <-t.drainCh:
+				t.discard(c, true)
+				return nil
+			default:
+			}
+			*consecutive++
+			continue
+		}
+		return nc
+	}
+}
+
+// dialOnce performs one bounded connection attempt plus the identifying
+// handshake.
+func (t *Transport) dialOnce(to peer.ID) (net.Conn, error) {
+	t.mu.Lock()
+	addr, known := t.peers[to]
+	t.mu.Unlock()
+	if !known {
+		return nil, fmt.Errorf("neem: no address for peer %d", to)
+	}
+	d := net.Dialer{Timeout: t.cfg.DialTimeout}
+	nc, err := d.DialContext(t.dialCtx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(t.cfg.Self))
+	nc.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+	if _, err := nc.Write(hdr[:]); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	nc.SetWriteDeadline(time.Time{})
+	return nc, nil
+}
+
+// backoffSleep waits the jittered exponential delay for the given attempt
+// number. It returns false when the transport began shutting down.
+func (t *Transport) backoffSleep(c *conn, attempt int) bool {
+	d := t.cfg.DialBackoffBase << (attempt - 1)
+	if d <= 0 || d > t.cfg.DialBackoffMax {
+		d = t.cfg.DialBackoffMax
+	}
+	// Jitter uniformly into [d/2, d) so a fleet whose links died together
+	// does not re-dial in lockstep.
+	c.rng = mix64(c.rng)
+	d = d/2 + time.Duration(c.rng%uint64(d/2+1))
+	tm := time.NewTimer(d)
+	defer tm.Stop()
+	select {
+	case <-tm.C:
+		return true
+	case <-t.drainCh:
+		return false
+	case <-t.quit:
+		return false
+	}
+}
+
+// serveConn pumps c's queue into the socket, one deadline-bounded write
+// per frame. It returns errTransportDown when the transport is draining
+// or closed (after flushing and announcing departure on the drain path),
+// or the write error when the socket died.
+func (t *Transport) serveConn(c *conn, nc net.Conn) error {
+	for {
+		select {
+		case frame := <-c.queue:
+			if !t.stallWait() {
+				t.lose(LostReap, 1) // shutdown mid-stall; frame not sent
+				return errTransportDown
+			}
+			if err := t.writeOne(nc, frame); err != nil {
+				t.lose(LostWrite, 1)
+				return err
+			}
+		case <-t.drainCh:
+			t.flushAndDepart(c, nc)
+			return errTransportDown
+		case <-t.quit:
+			return errTransportDown
 		}
 	}
 }
 
-func (t *Transport) writeLoop(c *conn, addr string) {
-	defer t.wg.Done()
-	nc, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
-	if err != nil {
-		t.abandon(c) // the peer is unreachable
-		return
+// writeOne writes one frame under the per-write deadline.
+func (t *Transport) writeOne(nc net.Conn, frame []byte) error {
+	nc.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+	if err := writeFrame(nc, frame); err != nil {
+		return err
 	}
-	defer nc.Close()
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(t.cfg.Self))
-	if _, err := nc.Write(hdr[:]); err != nil {
-		t.abandon(c)
-		return
-	}
+	t.framesSent.Add(1)
+	t.bytesSent.Add(uint64(len(frame)) + 4)
+	return nil
+}
+
+// flushAndDepart empties the queue under the drain deadline, then
+// announces the graceful leave with the departure sentinel.
+func (t *Transport) flushAndDepart(c *conn, nc net.Conn) {
+	deadline := time.Now().Add(t.cfg.DrainTimeout)
 	for {
 		select {
 		case frame := <-c.queue:
+			nc.SetWriteDeadline(deadline)
 			if err := writeFrame(nc, frame); err != nil {
-				t.framesLost.Add(1)
-				t.abandon(c)
+				t.lose(LostWrite, 1)
+				t.discard(c, true)
 				return
 			}
 			t.framesSent.Add(1)
 			t.bytesSent.Add(uint64(len(frame)) + 4)
-		case <-c.done:
+		default:
+			nc.SetWriteDeadline(deadline)
+			if err := writeDeparture(nc); err == nil {
+				t.depSent.Add(1)
+			}
 			return
 		}
 	}
 }
 
-// abandon handles a dead outbound connection: the conn lingers in the
-// table for one DialTimeout, absorbing (and discarding) traffic — so an
-// unreachable peer costs one dial attempt per backoff window, not one
-// per frame — then the entry is forgotten so a later Send re-dials, and
-// the goroutine exits. Nothing is parked for the transport's lifetime:
-// under sustained churn the goroutine and conn count stays bounded by
-// the number of currently-unreachable peers.
-func (t *Transport) abandon(c *conn) {
-	backoff := time.After(t.cfg.DialTimeout)
+// reap gives up on an unreachable peer: the connection turns suspect and
+// absorbs (losing) frames for one cooldown — so an unreachable peer costs
+// one dial budget per cooldown window, not one per frame — then the entry
+// is forgotten so a later Send starts a fresh dial cycle.
+func (t *Transport) reap(c *conn) {
+	c.setState(StateSuspect)
+	t.reaped.Add(1)
+	tm := time.NewTimer(t.cfg.DialBackoffMax)
+	defer tm.Stop()
 	for {
 		select {
 		case <-c.queue:
-			t.framesLost.Add(1)
-		case <-backoff:
-			t.forget(c)
+			t.lose(LostReap, 1)
+		case <-tm.C:
+			t.discard(c, true)
 			return
-		case <-c.done:
+		case <-t.drainCh:
+			t.discard(c, true)
+			return
+		case <-t.quit:
 			return
 		}
 	}
 }
 
-// forget removes the connection entry so a later Send re-dials, folds
-// its purge counter into the lost total (the conn is about to become
-// unreachable from the accounting walks), and discards whatever frames
-// are still queued. Concurrent Sends holding the stale conn may enqueue
-// a few more frames into the dead queue; they are lost silently, the
-// unreliable-transport contract.
-func (t *Transport) forget(c *conn) {
+// discard removes the connection entry (a later Send re-dials) and, when
+// accounted is set, counts the frames still queued as lost. Concurrent
+// Sends holding the stale conn may enqueue a few more frames into the
+// dead queue; they are lost silently, the unreliable-transport contract.
+func (t *Transport) discard(c *conn, accounted bool) {
 	t.mu.Lock()
 	if !t.closed && t.conns[c.to] == c {
 		delete(t.conns, c.to)
 	}
 	t.mu.Unlock()
-	c.mu.Lock()
-	t.framesLost.Add(uint64(c.dropped))
-	c.dropped = 0
-	c.mu.Unlock()
 	for {
 		select {
 		case <-c.queue:
-			t.framesLost.Add(1)
+			if accounted {
+				t.lose(LostReap, 1)
+			}
 		default:
 			return
 		}
 	}
 }
 
-func readFrame(r io.Reader) ([]byte, error) {
+// readFrame reads one length-prefixed frame; departed reports the
+// graceful-leave sentinel instead of a payload.
+func readFrame(r io.Reader) (frame []byte, departed bool, err error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == departureSentinel {
+		return nil, true, nil
+	}
 	if n > MaxFrame {
-		return nil, errors.New("neem: frame too large")
+		return nil, false, errors.New("neem: frame too large")
 	}
-	frame := make([]byte, n)
+	frame = make([]byte, n)
 	if _, err := io.ReadFull(r, frame); err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return frame, nil
+	return frame, false, nil
 }
 
 func writeFrame(w io.Writer, frame []byte) error {
@@ -428,6 +983,22 @@ func writeFrame(w io.Writer, frame []byte) error {
 	}
 	_, err := w.Write(frame)
 	return err
+}
+
+// writeDeparture announces a graceful leave on the wire.
+func writeDeparture(w io.Writer) error {
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], departureSentinel)
+	_, err := w.Write(lenBuf[:])
+	return err
+}
+
+// mix64 is the splitmix64 finaliser (backoff jitter).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // Clock is a wall clock relative to process start, implementing peer.Clock.

@@ -163,21 +163,22 @@ func TestQueuePurgesOldest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		// Close would wait for the dial; forget the peer instead.
-		a.mu.Lock()
-		for _, c := range a.conns {
-			close(c.queue)
-		}
-		a.conns = map[peer.ID]*conn{}
-		a.mu.Unlock()
-		a.listener.Close()
-	}()
 	for i := 0; i < sendQueueSize*3; i++ {
 		a.Send(2, []byte{byte(i)})
 	}
 	if got := a.Dropped(); got < sendQueueSize {
 		t.Fatalf("dropped = %d, want >= %d (purging policy)", got, sendQueueSize)
+	}
+	// Close must cancel the stuck dial and return promptly.
+	done := make(chan struct{})
+	go func() {
+		a.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on a stuck dial")
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"emcast/internal/disstrace"
+	"emcast/internal/faults"
 	"emcast/internal/obs"
 	"emcast/internal/sim"
 	"emcast/internal/topology"
@@ -18,7 +19,8 @@ type Engine struct {
 	spec   Spec
 	runner *sim.Runner
 	rng    *rand.Rand
-	ranked []int // initial nodes, best-first (oracle order), lazy
+	inj    *faults.Injector // nil unless the spec schedules fault-* events
+	ranked []int            // initial nodes, best-first (oracle order), lazy
 
 	nextJoiner int   // next provisioned joiner index to hand out
 	cur        int   // current phase index while running
@@ -37,15 +39,28 @@ func New(spec Spec) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Provision the fault plane only when the spec uses it: specs without
+	// fault events run with a nil injector, so the hot path stays one
+	// nil-check and the byte-identity story holds trivially.
+	var inj *faults.Injector
+	if spec.HasFaults() {
+		inj = faults.New(spec.Seed ^ 0x0fa17a11)
+		cfg.Faults = inj
+	}
 	e := &Engine{
 		spec:       spec,
 		runner:     sim.New(cfg),
 		rng:        rand.New(rand.NewSource(spec.Seed ^ 0x5ce9a5105ce9a510)),
+		inj:        inj,
 		nextJoiner: spec.Nodes,
 		skipped:    make([]int, len(spec.Phases)),
 	}
 	return e, nil
 }
+
+// Faults exposes the engine's fault injector (nil when the spec has no
+// fault events) for diagnostics and tests.
+func (e *Engine) Faults() *faults.Injector { return e.inj }
 
 // rankedNodes returns the initial nodes best-first by the oracle metric,
 // materialising the ranking on first use — scenarios without kill-best
@@ -291,5 +306,23 @@ func (e *Engine) applyNetEvent(ev *NetEvent) {
 		net.Partition(groups)
 	case NetHeal:
 		net.Heal()
+	case NetFaultLink:
+		// Validated at spec load; Install re-checks and cannot fail here.
+		_ = e.inj.Install(ev.FaultRule())
+	case NetFaultClear:
+		e.inj.Clear()
+	case NetFaultStall:
+		until := net.Now() + ev.For.D()
+		for _, node := range ev.Nodes {
+			e.inj.Stall(node, until)
+		}
+	case NetFaultCrash:
+		for _, node := range ev.Nodes {
+			e.runner.Fail(node)
+		}
+	case NetFaultSlow:
+		for _, r := range ev.SlowRules() {
+			_ = e.inj.Install(r)
+		}
 	}
 }

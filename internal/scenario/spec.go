@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"emcast/internal/faults"
 	"emcast/internal/msg"
 	"emcast/internal/obs"
 )
@@ -298,6 +299,27 @@ const (
 	NetPartition = "partition"
 	// NetHeal removes the partition.
 	NetHeal = "heal"
+
+	// NetFaultLink installs a fault-injection rule (internal/faults) on
+	// the directed links scoped by From/To (empty = all): Drop, Delay +
+	// DelayJitter, Duplicate and Reorder/ReorderBy compose per frame.
+	// Rules accumulate until fault-clear.
+	NetFaultLink = "fault-link"
+	// NetFaultClear removes every installed fault rule (stalls already
+	// scheduled keep their deadlines).
+	NetFaultClear = "fault-clear"
+	// NetFaultStall freezes the listed Nodes for For: in the simulator
+	// their frames (both directions) are deferred past the deadline; the
+	// live harness freezes the victims' transport loops so senders feel
+	// real TCP backpressure.
+	NetFaultStall = "fault-stall"
+	// NetFaultCrash hard-fails the listed Nodes — the targeted sibling of
+	// the crash-wave churn kind (which picks victims randomly).
+	NetFaultCrash = "fault-crash"
+	// NetFaultSlow makes the listed Nodes slow peers: every link into or
+	// out of them gains Delay (+DelayJitter). Traffic between two slow
+	// nodes pays the penalty twice — both endpoints are slow.
+	NetFaultSlow = "fault-slow"
 )
 
 // NetEvent describes one timed network-dynamics event.
@@ -318,6 +340,63 @@ type NetEvent struct {
 	// Split, in (0, 1), partitions the first Split fraction of the
 	// initial nodes from everyone else — shorthand for Groups.
 	Split float64 `json:"split,omitempty"`
+
+	// Fault-injection fields (the fault-* kinds; see internal/faults).
+	// From/To scope a fault-link rule to directed links (empty = all
+	// nodes); Drop/Duplicate/Reorder are per-frame probabilities; Delay,
+	// DelayJitter and ReorderBy shape injected latency.
+	From        []int    `json:"from,omitempty"`
+	To          []int    `json:"to,omitempty"`
+	Drop        float64  `json:"drop,omitempty"`
+	Delay       Duration `json:"delay,omitempty"`
+	DelayJitter Duration `json:"delay_jitter,omitempty"`
+	Duplicate   float64  `json:"duplicate,omitempty"`
+	Reorder     float64  `json:"reorder,omitempty"`
+	ReorderBy   Duration `json:"reorder_by,omitempty"`
+	// Nodes are the victims of fault-stall / fault-crash / fault-slow.
+	Nodes []int `json:"nodes,omitempty"`
+	// For is the fault-stall freeze duration.
+	For Duration `json:"for,omitempty"`
+}
+
+// FaultRule maps a fault-link event's fields onto an injector rule. Both
+// engines (sim and live) build rules through this one translation so the
+// vocabulary cannot drift between planes.
+func (e *NetEvent) FaultRule() faults.LinkRule {
+	return faults.LinkRule{
+		From:        e.From,
+		To:          e.To,
+		Drop:        e.Drop,
+		Delay:       e.Delay.D(),
+		DelayJitter: e.DelayJitter.D(),
+		Duplicate:   e.Duplicate,
+		Reorder:     e.Reorder,
+		ReorderBy:   e.ReorderBy.D(),
+	}
+}
+
+// SlowRules maps a fault-slow event onto its two injector rules: one for
+// frames leaving the slow nodes, one for frames entering them.
+func (e *NetEvent) SlowRules() [2]faults.LinkRule {
+	base := faults.LinkRule{Delay: e.Delay.D(), DelayJitter: e.DelayJitter.D()}
+	out, in := base, base
+	out.From = e.Nodes
+	in.To = e.Nodes
+	return [2]faults.LinkRule{out, in}
+}
+
+// HasFaults reports whether any phase schedules fault-* events, so
+// engines know to provision an injector.
+func (s *Spec) HasFaults() bool {
+	for i := range s.Phases {
+		for j := range s.Phases[i].Network {
+			switch s.Phases[i].Network[j].Kind {
+			case NetFaultLink, NetFaultClear, NetFaultStall, NetFaultCrash, NetFaultSlow:
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Parse reads and validates a JSON scenario spec. Unknown fields are
@@ -525,6 +604,38 @@ func (s *Spec) validatePhase(p *Phase) error {
 				}
 			}
 		case NetHeal:
+		case NetFaultLink:
+			r := e.FaultRule()
+			if err := r.Validate(); err != nil {
+				return fmt.Errorf("network %d: %v", i, err)
+			}
+			total := s.Nodes + s.Joiners()
+			for _, n := range append(append([]int{}, e.From...), e.To...) {
+				if n < 0 || n >= total {
+					return fmt.Errorf("network %d: fault scope node %d outside [0, %d)", i, n, total)
+				}
+			}
+		case NetFaultClear:
+		case NetFaultStall, NetFaultCrash, NetFaultSlow:
+			if len(e.Nodes) == 0 {
+				return fmt.Errorf("network %d: %s needs nodes", i, e.Kind)
+			}
+			total := s.Nodes + s.Joiners()
+			for _, n := range e.Nodes {
+				if n < 0 || n >= total {
+					return fmt.Errorf("network %d: fault victim %d outside [0, %d)", i, n, total)
+				}
+			}
+			switch e.Kind {
+			case NetFaultStall:
+				if e.For <= 0 {
+					return fmt.Errorf("network %d: fault-stall needs a positive for duration", i)
+				}
+			case NetFaultSlow:
+				if e.Delay <= 0 && e.DelayJitter <= 0 {
+					return fmt.Errorf("network %d: fault-slow needs delay or delay_jitter", i)
+				}
+			}
 		default:
 			return fmt.Errorf("network %d: unknown kind %q", i, e.Kind)
 		}

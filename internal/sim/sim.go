@@ -23,6 +23,7 @@ import (
 	"emcast/internal/core"
 	"emcast/internal/disstrace"
 	"emcast/internal/emunet"
+	"emcast/internal/faults"
 	"emcast/internal/gossip"
 	"emcast/internal/ids"
 	"emcast/internal/monitor"
@@ -189,6 +190,14 @@ type Config struct {
 	// aggregate by name, and ReleaseObs detaches a finished runner's
 	// callback instruments.
 	Obs *obs.Registry
+
+	// Faults, when set, attaches the deterministic fault-injection plane
+	// (internal/faults) to the emulator: link drop/delay/duplicate/
+	// reorder rules and node stalls applied at frame-send time. The
+	// injector draws from its own seed, never from the emulator RNG, so
+	// an attached-but-inert injector leaves runs byte-identical — the
+	// equivalence tests pin that.
+	Faults *faults.Injector
 }
 
 // DefaultConfig is the paper's standard run: 100 nodes, 400 messages of
@@ -295,6 +304,9 @@ func New(cfg Config) *Runner {
 		// first receipt), so the runner opts into the frame arena.
 		PooledFrames: true,
 	})
+	if cfg.Faults != nil {
+		net.SetFaults(cfg.Faults)
+	}
 
 	var tracer trace.Reader = trace.NewStreaming()
 	if cfg.FullTrace {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"emcast/internal/core"
+	"emcast/internal/faults"
 	"emcast/internal/ids"
 	"emcast/internal/monitor"
 	"emcast/internal/neem"
@@ -81,6 +82,16 @@ type PeerConfig struct {
 	// OnDeliver is invoked (on a transport goroutine) for every
 	// delivered message.
 	OnDeliver func(Delivery)
+
+	// OnDeparture is invoked (on a transport goroutine) when a remote
+	// peer announces a graceful leave on the wire — crashed peers never
+	// announce, so the hook distinguishes leaves from crashes.
+	OnDeparture func(from NodeID)
+
+	// Faults, when set, applies the fault-injection plane to this peer's
+	// inbound frames (chaos testing; see internal/faults). A fleet
+	// usually shares one injector so one rule set governs every link.
+	Faults *faults.Injector
 }
 
 // Peer is a protocol node on a real TCP network.
@@ -109,10 +120,12 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		clock = neem.NewClockAt(cfg.Epoch)
 	}
 	transport, err := neem.Listen(neem.Config{
-		Self:       cfg.Self,
-		ListenAddr: cfg.ListenAddr,
-		Peers:      cfg.Peers,
-		Filter:     cfg.LinkFilter,
+		Self:        cfg.Self,
+		ListenAddr:  cfg.ListenAddr,
+		Peers:       cfg.Peers,
+		Filter:      cfg.LinkFilter,
+		OnDeparture: cfg.OnDeparture,
+		Faults:      cfg.Faults,
 	}, nil)
 	if err != nil {
 		return nil, err
@@ -257,12 +270,26 @@ func (p *Peer) Frames() (sent, lost uint64) {
 	return p.transport.Counters()
 }
 
-// TransportStats returns the full transport view: frame counters plus
-// wire bytes in each direction and the instantaneous send-queue depth.
-// Safe to call concurrently with a running peer, so a metrics scrape can
-// watch a live fleet.
+// TransportStats returns the full transport view: frame counters with the
+// per-reason loss breakdown, wire bytes in each direction, self-healing
+// activity (reconnects, reaps, departures) and the instantaneous
+// send-queue depth. Safe to call concurrently with a running peer, so a
+// metrics scrape can watch a live fleet.
 func (p *Peer) TransportStats() neem.Stats {
 	return p.transport.Stats()
+}
+
+// TransportHealth returns the state (up / backoff / suspect) of every
+// outbound connection, keyed by peer.
+func (p *Peer) TransportHealth() map[NodeID]neem.ConnState {
+	return p.transport.Health()
+}
+
+// Stall freezes this peer's transport loops for d — the live realisation
+// of fault-stall injection: the process stays alive but nothing moves, so
+// remote senders feel real TCP backpressure (see neem.Transport.Stall).
+func (p *Peer) Stall(d time.Duration) {
+	p.transport.Stall(d)
 }
 
 // Multicast disseminates payload to the whole group.
